@@ -1,0 +1,1 @@
+"""Benchmark harnesses regenerating every table and figure of the paper."""

@@ -1,0 +1,54 @@
+"""Figure 10: subscription-ratio timeline with kernel creation, migration,
+and scale-out events during the 17.5-hour excerpt.
+
+Paper reference points: the SR climbs sharply when bursts of kernels are
+created, scale-outs follow the SR spikes and bring it back down, and kernel
+migrations cluster around the SR peaks.
+"""
+
+from benchmarks.common import excerpt_result, print_header, print_rows
+from repro.metrics.collector import EventKind
+
+
+def run():
+    return excerpt_result("notebookos")
+
+
+def test_fig10_subscription_ratio_timeline(benchmark):
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    collector = result.collector
+    ratio = collector.subscription_ratio
+
+    print_header("Figure 10: cluster-wide subscription ratio over time")
+    rows = []
+    step = max(1, len(ratio.points) // 18)
+    for index in range(0, len(ratio.points), step):
+        time, value = ratio.points[index]
+        rows.append({"hour": time / 3600.0, "subscription_ratio": value,
+                     "provisioned_gpus": collector.provisioned_gpus.value_at(time)})
+    print_rows(rows, ["hour", "subscription_ratio", "provisioned_gpus"])
+
+    creations = collector.events_of_kind(EventKind.KERNEL_CREATED)
+    migrations = collector.events_of_kind(EventKind.KERNEL_MIGRATION)
+    scale_outs = collector.events_of_kind(EventKind.SCALE_OUT)
+    print_header("Major events (kernel creations / migrations / scale-outs)")
+    print_rows([
+        {"event": "kernel creations", "count": len(creations)},
+        {"event": "kernel migrations", "count": len(migrations)},
+        {"event": "scale-out operations", "count": len(scale_outs)},
+        {"event": "max subscription ratio", "count": round(ratio.maximum(), 3)},
+    ], ["event", "count"])
+
+    # Shape: kernels are created throughout, the SR rises above 1 (i.e. the
+    # cluster is truly oversubscribed), and scale-outs occur in response.
+    assert len(creations) > 0
+    assert ratio.maximum() > 1.0
+    assert len(scale_outs) >= 1
+    # Scale-outs only happen once sessions (and their kernels) start arriving.
+    first_session = min(e.time for e in collector.events_of_kind(EventKind.SESSION_STARTED))
+    assert min(e.time for e in scale_outs) >= first_session
+    benchmark.extra_info.update({
+        "max_subscription_ratio": round(ratio.maximum(), 3),
+        "migrations": len(migrations),
+        "scale_outs": len(scale_outs),
+    })

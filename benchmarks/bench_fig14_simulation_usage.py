@@ -1,0 +1,60 @@
+"""Figure 14: simulated cluster-wide allocatable GPUs and GPU usage ratio
+over the 90-day trace.
+
+Paper reference points: NotebookOS (and LCP) provision far fewer allocatable
+GPUs than Reservation while tracking the oracle much more closely, and they
+use a significantly higher fraction of the GPUs they do provision.
+"""
+
+from benchmarks.common import print_header, print_rows, summer_result, summer_trace
+from repro.policies import oracle_gpu_timeline
+
+POLICIES = ("reservation", "notebookos", "lcp")
+
+
+def run():
+    return {policy: summer_result(policy) for policy in POLICIES}
+
+
+def test_fig14_simulated_gpu_usage(benchmark):
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    trace = summer_trace()
+    oracle = oracle_gpu_timeline(trace, sample_interval=3600.0)
+
+    print_header("Figure 14(a): cluster-wide allocatable GPUs (90-day trace)")
+    reference = results["reservation"].collector.provisioned_gpus
+    rows = []
+    step = max(1, len(reference.points) // 15)
+    for index in range(0, len(reference.points), step):
+        time, _ = reference.points[index]
+        row = {"day": time / 86400.0, "oracle": oracle.value_at(time)}
+        for policy in POLICIES:
+            row[policy] = results[policy].collector.provisioned_gpus.value_at(time)
+        rows.append(row)
+    print_rows(rows, ["day", "oracle"] + list(POLICIES))
+
+    print_header("Figure 14(b): GPU usage ratio (used / allocatable)")
+    usage_rows = []
+    for policy in POLICIES:
+        collector = results[policy].collector
+        provisioned = collector.provisioned_gpu_hours()
+        used = collector.committed_gpu_hours()
+        usage_rows.append({"policy": policy, "provisioned_gpu_hours": provisioned,
+                           "training_gpu_hours": used,
+                           "usage_ratio": used / provisioned if provisioned else 0.0})
+    oracle_hours = oracle.integral() / 3600.0
+    usage_rows.append({"policy": "oracle", "provisioned_gpu_hours": oracle_hours,
+                       "training_gpu_hours": oracle_hours, "usage_ratio": 1.0})
+    print_rows(usage_rows, ["policy", "provisioned_gpu_hours",
+                            "training_gpu_hours", "usage_ratio"])
+
+    ratios = {row["policy"]: row["usage_ratio"] for row in usage_rows}
+    hours = {row["policy"]: row["provisioned_gpu_hours"] for row in usage_rows}
+    # Shape: NotebookOS/LCP provision far fewer GPUs than Reservation and use
+    # a higher fraction of what they provision.
+    assert hours["notebookos"] < hours["reservation"]
+    assert hours["lcp"] < hours["reservation"]
+    assert ratios["notebookos"] > ratios["reservation"]
+    assert ratios["lcp"] > ratios["reservation"]
+    benchmark.extra_info.update({f"usage_ratio_{p}": round(ratios[p], 3)
+                                 for p in POLICIES})

@@ -1,0 +1,63 @@
+"""Figures 15-19: per-step latency breakdown of execute requests per policy.
+
+Figure 15 defines the request-path steps; Figures 16-19 show the per-step
+latency distributions observed by Reservation, Batch, NotebookOS, and
+NotebookOS (LCP).
+
+Paper reference points: Reservation spends its time in step (8) (code
+execution); Batch and LCP are dominated by step (1) (queueing + on-demand
+provisioning, shorter for LCP thanks to warm containers); NotebookOS adds a
+small step (6) (the executor election, tens of milliseconds) that does not
+meaningfully change the end-to-end latency.
+"""
+
+from benchmarks.common import POLICIES, excerpt_result, print_header, print_rows
+from repro.metrics.latency_breakdown import REQUEST_STEPS
+
+FIGURE_FOR_POLICY = {"reservation": "Fig. 16", "batch": "Fig. 17",
+                     "notebookos": "Fig. 18", "lcp": "Fig. 19"}
+
+
+def run_all():
+    return {policy: excerpt_result(policy) for policy in POLICIES}
+
+
+def test_fig15_19_latency_breakdown(benchmark):
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    tables = {}
+    for policy in POLICIES:
+        breakdown = results[policy].breakdown
+        table = breakdown.table()
+        tables[policy] = table
+        print_header(f"{FIGURE_FOR_POLICY[policy]}: per-step latency breakdown "
+                     f"({policy}, seconds)")
+        rows = []
+        for step in ["end_to_end"] + REQUEST_STEPS:
+            summary = table[step]
+            if summary.get("count", 0) == 0:
+                rows.append({"step": step, "count": 0})
+                continue
+            rows.append({"step": step, "count": summary["count"],
+                         "p50": summary["p50"], "p95": summary["p95"],
+                         "p99": summary["p99"]})
+        print_rows(rows, ["step", "count", "p50", "p95", "p99"])
+
+    def p50(policy, step):
+        summary = tables[policy][step]
+        return summary.get("p50", 0.0) if summary.get("count") else 0.0
+
+    # Only NotebookOS pays the executor-election step, and it stays small.
+    assert tables["notebookos"]["primary_replica_protocol"]["count"] > 0
+    assert p50("notebookos", "primary_replica_protocol") < 0.25
+    assert tables["reservation"]["primary_replica_protocol"] == {"count": 0}
+    # Batch and LCP are dominated by step (1); LCP's is shorter than Batch's.
+    assert p50("batch", "gs_process_request") > p50("notebookos", "gs_process_request") * 10
+    assert p50("lcp", "gs_process_request") < p50("batch", "gs_process_request")
+    # Execution itself dominates every policy's end-to-end latency.
+    for policy in POLICIES:
+        assert p50(policy, "execute_code") > p50(policy, "kernel_preprocess")
+    benchmark.extra_info.update({
+        f"election_p50_ms": round(p50("notebookos", "primary_replica_protocol") * 1000, 2),
+        f"batch_step1_p50_s": round(p50("batch", "gs_process_request"), 2),
+    })

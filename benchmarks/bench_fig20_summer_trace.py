@@ -1,0 +1,53 @@
+"""Figure 20: active sessions and trainings over the full 90-day summer trace.
+
+Paper reference points: sessions accumulate over the summer (206 / 312 / 397
+active sessions by the end of June / July / August, max 433), while active
+trainings grow from ~31 (June mean) to ~105 (August mean) with a maximum of
+141.  The benchmark uses a scaled-down session count (see EXPERIMENTS.md);
+the shapes — monotone session growth, trainings a small fraction of
+sessions — are the reproduction target.
+"""
+
+from benchmarks.common import print_header, print_rows, summer_trace
+
+
+def build():
+    trace = summer_trace()
+    horizon = trace.duration
+    rows = []
+    samples = 18
+    for index in range(samples + 1):
+        # Sample just inside the horizon: sessions persist to the trace end,
+        # so the half-open [start, end) interval would read 0 exactly at it.
+        time = min(horizon * index / samples, horizon - 1.0)
+        rows.append({"day": time / 86400.0,
+                     "active_sessions": trace.active_sessions_at(time),
+                     "active_trainings": trace.active_trainings_at(time)})
+    return trace, rows
+
+
+def test_fig20_summer_trace_sessions_and_trainings(benchmark):
+    trace, rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    print_header("Figure 20: sessions & trainings over the 90-day summer trace")
+    print_rows(rows, ["day", "active_sessions", "active_trainings"])
+    maximum_trainings = max(trace.active_trainings_at(t.submit_time)
+                            for t in trace.all_tasks[:5000])
+    print_rows([
+        {"metric": "total sessions", "paper": 433, "measured": len(trace)},
+        {"metric": "total training events", "paper": "545,467 (full trace)",
+         "measured": trace.total_task_count},
+        {"metric": "max sampled active trainings", "paper": 141,
+         "measured": maximum_trainings},
+    ], ["metric", "paper", "measured"])
+
+    session_counts = [row["active_sessions"] for row in rows]
+    # Shape: sessions accumulate monotonically (notebook sessions persist) and
+    # concurrent trainings remain a small fraction of active sessions.
+    assert session_counts[-1] == len(trace)
+    assert all(a <= b for a, b in zip(session_counts, session_counts[1:]))
+    mid = len(rows) // 2
+    assert all(row["active_trainings"] <= max(1, row["active_sessions"])
+               for row in rows)
+    assert any(row["active_trainings"] > 0 for row in rows[mid:])
+    benchmark.extra_info.update({"sessions": len(trace),
+                                 "training_events": trace.total_task_count})

@@ -1,0 +1,105 @@
+"""Figure 2: workload characterization of IDLT vs BDLT traces.
+
+Regenerates the four panels of Figure 2:
+(a) task-duration CDFs, (b) per-session inter-arrival-time CDFs,
+(c) GPU-utilization CDFs for the Adobe-style trace, and
+(d) reserved vs utilized GPUs over the trace horizon.
+
+Paper reference points: duration p50 = 120 / 621 / 957 s and IAT p50 =
+300 / 44 / 38 s for Adobe / Philly / Alibaba; reserved GPUs idle > 81 % of
+the time; ~74-75 % of sessions use their GPUs at most 5 % of the time.
+"""
+
+from benchmarks.common import print_header, print_rows
+from repro.analysis import CDF
+from repro.workload import (
+    AdobeTraceGenerator,
+    AlibabaTraceGenerator,
+    PhillyTraceGenerator,
+    characterize_trace,
+)
+
+PAPER_DURATION_P50 = {"adobe": 120.0, "philly": 621.0, "alibaba": 957.0}
+PAPER_IAT_P50 = {"adobe": 300.0, "philly": 44.0, "alibaba": 38.0}
+
+
+def build_characterizations():
+    generators = {
+        "adobe": AdobeTraceGenerator.characterization_preset(
+            seed=2, num_sessions=150, duration_hours=24.0 * 14),
+        "philly": PhillyTraceGenerator(seed=2, num_sessions=150,
+                                       duration_hours=24.0 * 14),
+        "alibaba": AlibabaTraceGenerator(seed=2, num_sessions=150,
+                                         duration_hours=24.0 * 14),
+    }
+    return {name: characterize_trace(gen.generate(), timeline_samples=200)
+            for name, gen in generators.items()}
+
+
+def report(characterizations) -> dict:
+    print_header("Figure 2(a,b): task duration and inter-arrival-time CDFs")
+    rows = []
+    for name, character in characterizations.items():
+        summary = character.summary()
+        rows.append({
+            "trace": name,
+            "duration_p50_s (paper)": PAPER_DURATION_P50[name],
+            "duration_p50_s (measured)": summary["duration_p50"],
+            "duration_p75_s": summary["duration_p75"],
+            "iat_p50_s (paper)": PAPER_IAT_P50[name],
+            "iat_p50_s (measured)": summary["iat_p50"],
+        })
+    print_rows(rows, list(rows[0]))
+
+    adobe = characterizations["adobe"]
+    print_header("Figure 2(c): GPU utilization (Adobe-style trace)")
+    duty = CDF.from_values(adobe.session_duty_cycles)
+    util = CDF.from_values(adobe.gpu_utilization_samples)
+    idle_fraction = adobe.fraction_reserved_gpu_time_idle()
+    low_usage = adobe.fraction_sessions_with_low_usage(0.05)
+    print_rows([
+        {"metric": "reserved GPU time idle", "paper": "> 0.81",
+         "measured": idle_fraction},
+        {"metric": "sessions using GPUs <= 5% of lifetime", "paper": "0.74-0.75",
+         "measured": low_usage},
+        {"metric": "cluster GPU utilization p50", "paper": "low",
+         "measured": util.percentile(0.5) if not util.is_empty else 0.0},
+        {"metric": "session GPU duty cycle p90", "paper": "<= 0.3113",
+         "measured": duty.percentile(0.9) if not duty.is_empty else 0.0},
+    ], ["metric", "paper", "measured"])
+
+    print_header("Figure 2(d): reserved vs utilized GPUs over time (Adobe-style)")
+    timeline_rows = []
+    points = adobe.timeline
+    for index in range(0, len(points), max(1, len(points) // 10)):
+        point = points[index]
+        timeline_rows.append({
+            "day": point.time / 86400.0,
+            "reserved_gpus": point.reserved_gpus,
+            "utilized_gpus": point.utilized_gpus,
+            "reserved_cpus": point.reserved_cpus,
+            "utilized_cpus": point.utilized_cpus,
+        })
+    print_rows(timeline_rows, ["day", "reserved_gpus", "utilized_gpus",
+                               "reserved_cpus", "utilized_cpus"])
+    return {
+        "adobe_duration_p50": characterizations["adobe"].summary()["duration_p50"],
+        "idle_fraction": idle_fraction,
+        "low_usage_fraction": low_usage,
+    }
+
+
+def test_fig2_workload_characterization(benchmark):
+    characterizations = benchmark.pedantic(build_characterizations,
+                                           iterations=1, rounds=1)
+    info = report(characterizations)
+    benchmark.extra_info.update(info)
+    # Shape checks: IDLT tasks are shorter and sparser than BDLT tasks, and
+    # reserved GPUs sit idle the vast majority of the time.
+    adobe = characterizations["adobe"].summary()
+    philly = characterizations["philly"].summary()
+    alibaba = characterizations["alibaba"].summary()
+    assert adobe["duration_p50"] < philly["duration_p50"] < alibaba["duration_p50"] * 1.5
+    assert adobe["iat_p50"] > philly["iat_p50"]
+    assert adobe["iat_p50"] > alibaba["iat_p50"]
+    assert info["idle_fraction"] > 0.6

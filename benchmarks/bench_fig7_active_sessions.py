@@ -1,0 +1,44 @@
+"""Figure 7: active sessions and active training tasks over the 17.5-h excerpt.
+
+Paper reference points: sessions grow from 0 to 87 (max 90); active trainings
+average ~19.5 with a maximum of 34.
+"""
+
+from benchmarks.common import EXCERPT_SESSIONS, excerpt_result, print_header, print_rows
+
+
+def run():
+    return excerpt_result("notebookos")
+
+
+def test_fig7_active_sessions_and_trainings(benchmark):
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    sessions = result.collector.active_sessions
+    trainings = result.collector.active_trainings
+
+    print_header("Figure 7: active sessions & trainings (17.5-hour excerpt)")
+    rows = []
+    step = max(1, len(sessions.points) // 18)
+    for index in range(0, len(sessions.points), step):
+        time, session_count = sessions.points[index]
+        rows.append({"hour": time / 3600.0, "active_sessions": session_count,
+                     "active_trainings": trainings.value_at(time)})
+    print_rows(rows, ["hour", "active_sessions", "active_trainings"])
+    summary_rows = [
+        {"metric": "max active sessions", "paper": 90, "measured": sessions.maximum()},
+        {"metric": "max active trainings", "paper": 34, "measured": trainings.maximum()},
+        {"metric": "mean active trainings", "paper": 19.5, "measured": trainings.mean()},
+    ]
+    print_rows(summary_rows, ["metric", "paper", "measured"])
+
+    # Shape checks: sessions accumulate to (nearly) the configured maximum and
+    # trainings stay well below the session count (IDLT duty cycles are low).
+    assert sessions.maximum() <= EXCERPT_SESSIONS
+    assert sessions.maximum() >= 0.9 * EXCERPT_SESSIONS
+    assert sessions.values[-1] >= sessions.values[len(sessions.values) // 4]
+    assert 0 < trainings.maximum() < sessions.maximum()
+    benchmark.extra_info.update({
+        "max_sessions": sessions.maximum(),
+        "max_trainings": trainings.maximum(),
+        "mean_trainings": round(trainings.mean(), 2),
+    })

@@ -1,0 +1,56 @@
+"""Figure 9: interactivity-delay and task-completion-time CDFs per policy.
+
+Paper reference points: Reservation and NotebookOS have nearly identical
+(sub-second to a few-second) interactivity delays; Batch has delays of tens
+to hundreds of seconds from queueing and cold starts; LCP sits in between.
+TCTs follow the same ordering, with NotebookOS slightly above Reservation in
+the middle percentiles (oversubscription-induced migrations / waits).
+"""
+
+from benchmarks.common import POLICIES, excerpt_result, print_header, print_rows
+
+PERCENTILES = (0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+def run_all():
+    return {policy: excerpt_result(policy) for policy in POLICIES}
+
+
+def test_fig9_interactivity_and_tct(benchmark):
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    print_header("Figure 9(a): interactivity delay CDF (seconds)")
+    rows = []
+    for policy in POLICIES:
+        cdf = results[policy].interactivity_cdf
+        row = {"policy": policy}
+        row.update({f"p{int(q * 100)}": cdf.percentile(q) for q in PERCENTILES})
+        rows.append(row)
+    print_rows(rows, ["policy"] + [f"p{int(q * 100)}" for q in PERCENTILES])
+
+    print_header("Figure 9(b): task completion time CDF (seconds)")
+    rows = []
+    for policy in POLICIES:
+        cdf = results[policy].tct_cdf
+        row = {"policy": policy}
+        row.update({f"p{int(q * 100)}": cdf.percentile(q) for q in PERCENTILES})
+        rows.append(row)
+    print_rows(rows, ["policy"] + [f"p{int(q * 100)}" for q in PERCENTILES])
+
+    interactivity = {p: results[p].interactivity_cdf for p in POLICIES}
+    tct = {p: results[p].tct_cdf for p in POLICIES}
+    # Shape: Reservation ~= NotebookOS << LCP << Batch for interactivity.
+    assert interactivity["notebookos"].percentile(0.5) < 5.0
+    assert interactivity["notebookos"].percentile(0.5) < \
+        interactivity["reservation"].percentile(0.5) + 5.0
+    assert interactivity["lcp"].percentile(0.5) > \
+        interactivity["notebookos"].percentile(0.5)
+    assert interactivity["batch"].percentile(0.5) > \
+        interactivity["lcp"].percentile(0.5)
+    # TCT: NotebookOS is comparable to Reservation; Batch is the slowest.
+    assert tct["notebookos"].percentile(0.5) < tct["reservation"].percentile(0.5) * 1.25
+    assert tct["batch"].percentile(0.5) > tct["reservation"].percentile(0.5)
+    assert tct["lcp"].percentile(0.5) >= tct["notebookos"].percentile(0.5)
+    benchmark.extra_info.update({
+        f"interactivity_p50_{p}": round(interactivity[p].percentile(0.5), 3)
+        for p in POLICIES})

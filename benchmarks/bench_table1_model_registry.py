@@ -1,0 +1,64 @@
+"""Table 1: models and datasets used in the evaluation, per application domain.
+
+Also exercises the workload driver's random assignment (each client gets a
+domain, then a model and dataset from that domain), as described in §5.1.2.
+"""
+
+from collections import Counter
+
+from benchmarks.common import print_header, print_rows
+from repro.simulation import SeededRandom
+from repro.workload import DATASETS, MODELS, ApplicationDomain, assign_workload
+
+PAPER_TABLE1 = {
+    ApplicationDomain.COMPUTER_VISION: (
+        {"CIFAR-10", "CIFAR-100", "Tiny ImageNet"},
+        {"VGG-16", "ResNet-18", "Inception v3"}),
+    ApplicationDomain.NLP: (
+        {"IMDb Large Movie Reviews", "CoLA"}, {"BERT", "GPT-2"}),
+    ApplicationDomain.SPEECH_RECOGNITION: (
+        {"LibriSpeech"}, {"Deep Speech 2"}),
+}
+
+
+def build_registry_rows():
+    rows = []
+    for domain in ApplicationDomain:
+        models = sorted(m.name for m in MODELS.values() if m.domain == domain)
+        datasets = sorted(d.name for d in DATASETS.values() if d.domain == domain)
+        rows.append({"app_domain": domain.value, "datasets": ", ".join(datasets),
+                     "models": ", ".join(models)})
+    return rows
+
+
+def sample_assignments(count=3000, seed=5):
+    rng = SeededRandom(seed)
+    counter = Counter()
+    for _ in range(count):
+        assignment = assign_workload(rng)
+        counter[(assignment.domain, assignment.model.name,
+                 assignment.dataset.name)] += 1
+    return counter
+
+
+def test_table1_model_registry(benchmark):
+    rows = benchmark.pedantic(build_registry_rows, iterations=1, rounds=1)
+    print_header("Table 1: models and datasets per application domain")
+    print_rows(rows, ["app_domain", "datasets", "models"])
+
+    counter = sample_assignments()
+    print_header("Workload driver assignment sample (3000 clients)")
+    sample_rows = [{"domain": d.value, "model": m, "dataset": ds, "clients": n}
+                   for (d, m, ds), n in sorted(counter.items(),
+                                               key=lambda kv: -kv[1])[:10]]
+    print_rows(sample_rows, ["domain", "model", "dataset", "clients"])
+
+    for domain, (datasets, models) in PAPER_TABLE1.items():
+        registry_models = {m.name for m in MODELS.values() if m.domain == domain}
+        registry_datasets = {d.name for d in DATASETS.values() if d.domain == domain}
+        assert registry_models == models
+        assert registry_datasets == datasets
+    # Every (model, dataset) pairing the driver produces stays in-domain.
+    assert all(MODELS[[k for k, v in MODELS.items() if v.name == model][0]].domain == domain
+               for (domain, model, _ds) in counter)
+    benchmark.extra_info["distinct_assignments"] = len(counter)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small IDLT workload on NotebookOS and print the results.
+
+This example generates a two-hour AdobeTrace-style workload with 15 notebook
+sessions, replays it on the simulated NotebookOS platform, and prints the
+headline metrics: interactivity delay, task completion time, provisioned GPU
+hours, migrations, and scale-out operations.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import run_experiment
+from repro.workload import AdobeTraceGenerator
+
+
+def main() -> None:
+    print("Generating a 2-hour IDLT workload with 15 notebook sessions...")
+    trace = AdobeTraceGenerator(seed=42, num_sessions=15,
+                                duration_hours=2.0).generate()
+    print(f"  sessions: {len(trace)}   cell tasks: {trace.total_task_count}")
+
+    print("\nReplaying the workload on NotebookOS (replicated kernels, "
+          "on-demand GPUs)...")
+    result = run_experiment(trace, policy="notebookos", seed=42)
+
+    summary = result.summary()
+    print("\nResults")
+    print("-" * 60)
+    for key, value in summary.items():
+        print(f"  {key:35s} {value}")
+
+    interactivity = result.interactivity_cdf
+    print("\nInteractivity delay percentiles (seconds)")
+    print("-" * 60)
+    for q in (0.50, 0.90, 0.95, 0.99):
+        print(f"  p{int(q * 100):<4d} {interactivity.percentile(q):10.3f}")
+
+    print("\nThe executor election committed GPUs immediately for "
+          f"{result.collector.immediate_commit_fraction():.1%} of requests and "
+          f"reused the previous executor {result.collector.same_executor_fraction():.1%} "
+          "of the time (the paper reports 89.6% / 89.45%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""NotebookOS reproduction.
+
+``repro`` is a simulation-based reproduction of *NotebookOS: A Replicated
+Notebook Platform for Interactive Training with On-Demand GPUs*
+(ASPLOS 2026).  It provides:
+
+* ``repro.simulation`` — a discrete-event engine, latency-modelled network,
+  and seeded distributions;
+* ``repro.raft`` — a from-scratch Raft consensus implementation;
+* ``repro.cluster`` — GPU servers, containers, a pre-warmed container pool,
+  a distributed data store, and a VM provisioner;
+* ``repro.jupyter`` — the Jupyter messaging layer, sessions and clients;
+* ``repro.statesync`` — AST-based kernel state analysis and replication;
+* ``repro.core`` — the NotebookOS control plane (global/local schedulers,
+  distributed kernels, executor election, migration, auto-scaling);
+* ``repro.policies`` — the Reservation, Batch, NotebookOS, LCP, and Oracle
+  scheduling policies used in the paper's evaluation;
+* ``repro.workload`` — synthetic IDLT/BDLT trace generators calibrated to the
+  published AdobeTrace / PhillyTrace / AlibabaTrace statistics;
+* ``repro.metrics`` / ``repro.analysis`` — the metrics, cost model, and
+  analysis helpers used to regenerate every figure in the paper.
+
+Quickstart::
+
+    from repro import run_experiment
+    from repro.workload import AdobeTraceGenerator
+
+    trace = AdobeTraceGenerator(seed=1, num_sessions=20,
+                                duration_hours=2.0).generate()
+    result = run_experiment(trace, policy="notebookos")
+    print(result.summary())
+
+The heavyweight platform symbols are imported lazily (PEP 562) so that the
+substrate packages (``repro.simulation``, ``repro.raft``, …) can be used on
+their own without pulling in the full control plane.
+"""
+
+from repro.version import __version__
+
+__all__ = [
+    "ClusterConfig",
+    "NotebookOSPlatform",
+    "PlatformConfig",
+    "run_experiment",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "NotebookOSPlatform": ("repro.core.platform", "NotebookOSPlatform"),
+    "run_experiment": ("repro.core.platform", "run_experiment"),
+    "ClusterConfig": ("repro.core.config", "ClusterConfig"),
+    "PlatformConfig": ("repro.core.config", "PlatformConfig"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the top-level platform exports."""
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value

@@ -1,0 +1,19 @@
+"""Analysis helpers: CDFs, percentiles, and timeline resampling.
+
+These utilities turn the raw measurements produced by the metrics collector
+into the series the paper plots — every figure in the evaluation is either a
+CDF or a timeline.
+"""
+
+from repro.analysis.cdf import CDF, percentile
+from repro.analysis.stats import describe, geometric_mean
+from repro.analysis.timeline import Timeline, resample
+
+__all__ = [
+    "CDF",
+    "Timeline",
+    "describe",
+    "geometric_mean",
+    "percentile",
+    "resample",
+]

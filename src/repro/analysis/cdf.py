@@ -1,0 +1,89 @@
+"""Empirical CDFs and percentile helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``values`` using linear interpolation."""
+    if not values:
+        raise ValueError("cannot compute a percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class CDF:
+    """An empirical cumulative distribution function."""
+
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        self.values = sorted(self.values)
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "CDF":
+        return cls(values=list(values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.values
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def probability_at_or_below(self, value: float) -> float:
+        """P(X <= value)."""
+        if not self.values:
+            return 0.0
+        count = 0
+        for sample in self.values:
+            if sample <= value:
+                count += 1
+            else:
+                break
+        return count / len(self.values)
+
+    def points(self, num_points: int = 100) -> List[Tuple[float, float]]:
+        """(value, cumulative probability) pairs suitable for plotting."""
+        if not self.values:
+            return []
+        n = len(self.values)
+        if n <= num_points:
+            return [(value, (i + 1) / n) for i, value in enumerate(self.values)]
+        step = n / num_points
+        result = []
+        for i in range(num_points):
+            index = min(n - 1, int((i + 1) * step) - 1)
+            result.append((self.values[index], (index + 1) / n))
+        return result
+
+    def summary(self) -> dict:
+        """The standard percentile summary used throughout the benchmarks."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "min": self.values[0],
+            "p25": self.percentile(0.25),
+            "p50": self.percentile(0.50),
+            "p75": self.percentile(0.75),
+            "p90": self.percentile(0.90),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.values[-1],
+            "mean": sum(self.values) / len(self.values),
+        }

@@ -1,0 +1,34 @@
+"""Small statistics helpers shared by benchmarks and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.analysis.cdf import percentile
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / min / max / stddev summary of ``values``."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0,
+                "std": 0.0}
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return {
+        "count": len(values),
+        "mean": mean,
+        "median": percentile(values, 0.5),
+        "min": min(values),
+        "max": max(values),
+        "std": math.sqrt(variance),
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

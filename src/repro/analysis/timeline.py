@@ -1,0 +1,80 @@
+"""Time-series helpers for the timeline figures (Figs. 7, 8, 10, 12, 14, 20)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass
+class Timeline:
+    """A piecewise-constant time series sampled at irregular instants."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; samples must be recorded in time order."""
+        if self.points and time < self.points[-1][0]:
+            raise ValueError(
+                f"timeline {self.name!r}: samples must be time-ordered "
+                f"({time} < {self.points[-1][0]})")
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def value_at(self, time: float) -> float:
+        """The most recent sample at or before ``time`` (0 if none)."""
+        value = 0.0
+        for t, v in self.points:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def maximum(self) -> float:
+        return max(self.values) if self.points else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.points) if self.points else 0.0
+
+    def integral(self) -> float:
+        """Time-weighted integral (e.g. GPU-seconds from a GPU-count series)."""
+        if len(self.points) < 2:
+            return 0.0
+        total = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+            total += v0 * (t1 - t0)
+        return total
+
+
+def resample(timeline: Timeline, start: float, end: float, step: float) -> Timeline:
+    """Resample a timeline onto a regular grid (piecewise-constant hold)."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if end < start:
+        raise ValueError("end must be >= start")
+    resampled = Timeline(name=f"{timeline.name}@{step}")
+    time = start
+    while time <= end + 1e-9:
+        resampled.record(time, timeline.value_at(time))
+        time += step
+    return resampled
+
+
+def difference(a: Timeline, b: Timeline, grid: Sequence[float],
+               op: Callable[[float, float], float] = lambda x, y: x - y) -> Timeline:
+    """Pointwise combination of two timelines on a common grid."""
+    combined = Timeline(name=f"{a.name}-vs-{b.name}")
+    for time in grid:
+        combined.record(time, op(a.value_at(time), b.value_at(time)))
+    return combined

@@ -1,0 +1,114 @@
+"""Resource requests and pools.
+
+A :class:`ResourceRequest` mirrors the *resource request* argument of the
+``StartKernelReplica`` RPC described in §3.2.1 of the paper: millicpus,
+memory in megabytes, whole GPUs, and VRAM in gigabytes.  A
+:class:`ResourcePool` tracks how much of each dimension a host has committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """A user-specified resource requirement for a kernel's IDLT tasks."""
+
+    millicpus: int = 1000
+    memory_mb: int = 4096
+    gpus: int = 1
+    vram_gb: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.millicpus < 0 or self.memory_mb < 0 or self.gpus < 0 or self.vram_gb < 0:
+            raise ValueError(f"resource quantities must be non-negative: {self}")
+
+    @property
+    def vcpus(self) -> float:
+        """The request expressed in whole vCPUs."""
+        return self.millicpus / 1000.0
+
+    def scaled(self, factor: float) -> "ResourceRequest":
+        """A proportionally scaled copy (used by fractional billing)."""
+        return ResourceRequest(millicpus=int(self.millicpus * factor),
+                               memory_mb=int(self.memory_mb * factor),
+                               gpus=int(self.gpus * factor),
+                               vram_gb=self.vram_gb * factor)
+
+    def add(self, other: "ResourceRequest") -> "ResourceRequest":
+        return ResourceRequest(millicpus=self.millicpus + other.millicpus,
+                               memory_mb=self.memory_mb + other.memory_mb,
+                               gpus=self.gpus + other.gpus,
+                               vram_gb=self.vram_gb + other.vram_gb)
+
+    def fits_within(self, other: "ResourceRequest") -> bool:
+        """Whether this request fits inside ``other`` on every dimension."""
+        return (self.millicpus <= other.millicpus
+                and self.memory_mb <= other.memory_mb
+                and self.gpus <= other.gpus
+                and self.vram_gb <= other.vram_gb)
+
+
+class InsufficientResourcesError(RuntimeError):
+    """Raised when a pool cannot satisfy a commit request."""
+
+
+class ResourcePool:
+    """Tracks committed resources against a fixed capacity."""
+
+    def __init__(self, capacity: ResourceRequest) -> None:
+        self.capacity = capacity
+        self._committed = ResourceRequest(millicpus=0, memory_mb=0, gpus=0, vram_gb=0.0)
+
+    @property
+    def committed(self) -> ResourceRequest:
+        """Resources currently committed (exclusively allocated)."""
+        return self._committed
+
+    @property
+    def available(self) -> ResourceRequest:
+        """Resources still available for exclusive commitment."""
+        return ResourceRequest(
+            millicpus=self.capacity.millicpus - self._committed.millicpus,
+            memory_mb=self.capacity.memory_mb - self._committed.memory_mb,
+            gpus=self.capacity.gpus - self._committed.gpus,
+            vram_gb=self.capacity.vram_gb - self._committed.vram_gb)
+
+    def can_commit(self, request: ResourceRequest) -> bool:
+        """Whether ``request`` can be exclusively committed right now."""
+        return request.fits_within(self.available)
+
+    def commit(self, request: ResourceRequest) -> None:
+        """Exclusively commit ``request``; raises if capacity is insufficient."""
+        if not self.can_commit(request):
+            raise InsufficientResourcesError(
+                f"cannot commit {request} with only {self.available} available")
+        self._committed = self._committed.add(request)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a previously committed ``request``."""
+        released = ResourceRequest(
+            millicpus=self._committed.millicpus - request.millicpus,
+            memory_mb=self._committed.memory_mb - request.memory_mb,
+            gpus=self._committed.gpus - request.gpus,
+            vram_gb=self._committed.vram_gb - request.vram_gb)
+        if (released.millicpus < 0 or released.memory_mb < 0
+                or released.gpus < 0 or released.vram_gb < -1e-9):
+            raise ValueError(
+                f"release of {request} exceeds committed resources {self._committed}")
+        self._committed = ResourceRequest(millicpus=released.millicpus,
+                                          memory_mb=released.memory_mb,
+                                          gpus=released.gpus,
+                                          vram_gb=max(0.0, released.vram_gb))
+
+    def utilization(self) -> dict:
+        """Per-dimension committed/capacity ratios (0 when capacity is 0)."""
+        def ratio(used: float, cap: float) -> float:
+            return used / cap if cap else 0.0
+        return {
+            "cpus": ratio(self._committed.millicpus, self.capacity.millicpus),
+            "memory": ratio(self._committed.memory_mb, self.capacity.memory_mb),
+            "gpus": ratio(self._committed.gpus, self.capacity.gpus),
+            "vram": ratio(self._committed.vram_gb, self.capacity.vram_gb),
+        }

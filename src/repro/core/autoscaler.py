@@ -1,0 +1,88 @@
+"""The auto-scaling policy (§3.4.2).
+
+The auto-scaler runs on a configurable interval.  It computes the expected
+cluster capacity ``ΣG' = f · ΣC`` where ``ΣC`` is the number of GPUs actively
+committed to executing kernel replicas and ``f`` (default 1.05) controls how
+aggressively the cluster scales.  If the current capacity is below ``ΣG'``
+(plus the scaling buffer), additional servers are provisioned; if usage is
+low, one or two idle servers at a time are released.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.config import ClusterConfig, PlatformConfig
+from repro.core.global_scheduler import GlobalScheduler
+from repro.simulation.engine import Environment, Process
+
+
+class AutoScaler:
+    """Periodically adjusts the number of provisioned GPU servers."""
+
+    def __init__(self, env: Environment, scheduler: GlobalScheduler,
+                 platform_config: PlatformConfig, cluster_config: ClusterConfig) -> None:
+        self.env = env
+        self.scheduler = scheduler
+        self.config = platform_config
+        self.cluster_config = cluster_config
+        self.scale_out_decisions = 0
+        self.scale_in_decisions = 0
+        self._process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Decision logic (pure, unit-testable).
+    # ------------------------------------------------------------------
+    def expected_capacity(self, committed_gpus: int) -> float:
+        """ΣG' = f · ΣC."""
+        return self.config.autoscaler_multiplier * committed_gpus
+
+    def hosts_to_add(self, committed_gpus: int, current_gpus: int,
+                     gpus_per_host: int) -> int:
+        """How many servers to provision this round (0 if none)."""
+        target = self.expected_capacity(committed_gpus)
+        buffer_gpus = self.config.scaling_buffer_hosts * gpus_per_host
+        deficit = (target + buffer_gpus) - current_gpus
+        if deficit <= 0:
+            return 0
+        return int(math.ceil(deficit / gpus_per_host))
+
+    def hosts_to_release(self, committed_gpus: int, current_gpus: int,
+                         gpus_per_host: int, idle_host_count: int) -> int:
+        """How many idle servers to release this round (0 if none)."""
+        target = self.expected_capacity(committed_gpus)
+        buffer_gpus = self.config.scaling_buffer_hosts * gpus_per_host
+        surplus_gpus = current_gpus - (target + buffer_gpus)
+        if surplus_gpus < gpus_per_host:
+            return 0
+        surplus_hosts = int(surplus_gpus // gpus_per_host)
+        return min(self.config.max_scale_in_per_round, surplus_hosts, idle_host_count)
+
+    # ------------------------------------------------------------------
+    # The periodic control loop.
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        if self._process is None:
+            self._process = self.env.process(self._loop(), name="auto-scaler")
+        return self._process
+
+    def _loop(self):
+        gpus_per_host = self.cluster_config.host_spec.num_gpus
+        while True:
+            yield self.env.timeout(self.config.autoscaler_interval_s)
+            committed = self.scheduler.cluster.committed_training_gpus()
+            current = self.scheduler.cluster.total_gpus()
+            add = self.hosts_to_add(committed, current, gpus_per_host)
+            if add > 0:
+                self.scale_out_decisions += 1
+                yield self.env.process(self.scheduler.scale_out(
+                    add, reason="auto-scaler"))
+                continue
+            idle_hosts = [h for h in self.scheduler.cluster.idle_hosts()
+                          if h.container_count == 0]
+            release = self.hosts_to_release(committed, current, gpus_per_host,
+                                            len(idle_hosts))
+            if release > 0:
+                self.scale_in_decisions += 1
+                yield self.env.process(self.scheduler.scale_in(release))

@@ -1,0 +1,102 @@
+"""Platform and cluster configuration.
+
+All tunables mentioned in the paper live here with the paper's values as
+defaults: three replicas per distributed kernel, an auto-scaling multiplier
+``f = 1.05``, a small pre-warmed container pool, and 8-GPU servers matching
+the Adobe research cluster's p3.16xlarge instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.container import ContainerLatencyModel
+from repro.cluster.host import HostSpec
+from repro.cluster.prewarmer import PrewarmPolicy
+
+
+@dataclass
+class ClusterConfig:
+    """Shape and size of the GPU server cluster."""
+
+    initial_hosts: int = 30
+    host_spec: HostSpec = field(default_factory=HostSpec)
+    min_hosts: int = 1
+    max_hosts: int = 120
+    vm_boot_time_mean_s: float = 95.0
+
+    def validate(self) -> None:
+        if self.initial_hosts < 0:
+            raise ValueError("initial_hosts must be non-negative")
+        if not self.min_hosts <= max(1, self.initial_hosts) <= self.max_hosts:
+            raise ValueError(
+                f"require min_hosts <= initial_hosts <= max_hosts, got "
+                f"{self.min_hosts} / {self.initial_hosts} / {self.max_hosts}")
+
+
+@dataclass
+class PlatformConfig:
+    """Behavioural configuration of the NotebookOS control plane."""
+
+    # Replication / scheduling (§3.2, §3.4).
+    replication_factor: int = 3
+    subscription_ratio_limit: Optional[float] = None  # None = dynamic cluster-wide limit
+    subscription_high_watermark: float = 3.0
+    oversubscription_enabled: bool = True
+
+    # Auto-scaling (§3.4.2).
+    autoscaler_enabled: bool = True
+    autoscaler_interval_s: float = 60.0
+    autoscaler_multiplier: float = 1.05
+    scaling_buffer_hosts: int = 2
+    max_scale_in_per_round: int = 2
+
+    # Pre-warmed container pool (§3.2.3).
+    prewarm_policy: PrewarmPolicy = field(default_factory=PrewarmPolicy)
+
+    # Container provisioning latencies.
+    container_latency: ContainerLatencyModel = field(default_factory=ContainerLatencyModel)
+
+    # Data store backend for large-object checkpointing (§3.2.4).
+    datastore_backend: str = "s3"
+
+    # Kernel coordination fidelity: "model" samples Raft round-trip latencies
+    # from a calibrated distribution; "raft" runs a live Raft group per kernel
+    # (accurate but only practical for small workloads / protocol tests).
+    kernel_fidelity: str = "model"
+
+    # Control-plane hop latencies (seconds).
+    jupyter_processing_s: float = 0.002
+    gs_processing_s: float = 0.003
+    ls_processing_s: float = 0.002
+    network_hop_s: float = 0.001
+    kernel_preprocess_s: float = 0.002
+
+    # Migration (§3.2.3).  Retries cover the boot time of a scale-out the
+    # migration itself may have triggered before the migration is aborted.
+    migration_retry_interval_s: float = 15.0
+    migration_max_retries: int = 20
+
+    # Metrics.
+    metrics_sample_interval_s: float = 60.0
+
+    # Idle reclamation interval used by the GPU-hours-saved analysis (Fig. 13).
+    idle_reclamation_interval_s: float = 3600.0
+
+    # Determinism.
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be at least 1")
+        if self.replication_factor == 2:
+            # §3.1: a replication factor of 2 is unsupported by Raft.
+            raise ValueError("a replication factor of 2 is unsupported by Raft")
+        if self.autoscaler_multiplier < 1.0:
+            raise ValueError("autoscaler_multiplier must be >= 1.0")
+        if self.kernel_fidelity not in ("model", "raft"):
+            raise ValueError("kernel_fidelity must be 'model' or 'raft'")
+        if self.metrics_sample_interval_s <= 0:
+            raise ValueError("metrics_sample_interval_s must be positive")
+        self.prewarm_policy.validate()

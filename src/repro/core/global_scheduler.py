@@ -1,0 +1,347 @@
+"""The Global Scheduler: placement, routing, migration, and failure handling.
+
+The Global Scheduler (Figure 3) creates distributed kernels, selects the GPU
+servers that host their replicas, routes execute requests, orchestrates the
+executor election, migrates replicas when every replica yields, and triggers
+scale-out when placement fails.  It performs the majority of the platform's
+book-keeping, which is what the metrics collector taps into.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional
+
+from repro.cluster.datastore import DistributedDataStore
+from repro.cluster.host import Host
+from repro.cluster.prewarmer import ContainerPrewarmer
+from repro.cluster.provisioner import VMProvisioner
+from repro.cluster.resources import ResourceRequest
+from repro.core.config import ClusterConfig, PlatformConfig
+from repro.core.distributed_kernel import DistributedKernel, KernelReplica, ReplicaState
+from repro.core.election import ExecutorElection
+from repro.core.local_scheduler import LocalScheduler
+from repro.core.placement import (
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    cluster_subscription_ratio,
+)
+from repro.metrics.collector import EventKind, MetricsCollector
+from repro.simulation.distributions import SeededRandom
+from repro.simulation.engine import Environment
+from repro.simulation.events import AllOf
+from repro.statesync.checkpoint import CheckpointManager
+from repro.statesync.synchronizer import StateSynchronizer
+from repro.workload.models import WorkloadAssignment
+
+
+class ClusterState:
+    """The Global Scheduler's view of the GPU server cluster."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.hosts: Dict[str, Host] = {}
+        self.local_schedulers: Dict[str, LocalScheduler] = {}
+
+    def add_host(self, host: Host, scheduler: LocalScheduler) -> None:
+        self.hosts[host.host_id] = host
+        self.local_schedulers[host.host_id] = scheduler
+
+    def remove_host(self, host_id: str) -> None:
+        self.hosts.pop(host_id, None)
+        self.local_schedulers.pop(host_id, None)
+
+    @property
+    def active_hosts(self) -> List[Host]:
+        return [h for h in self.hosts.values() if h.is_active]
+
+    def scheduler_for(self, host_id: str) -> LocalScheduler:
+        return self.local_schedulers[host_id]
+
+    def total_gpus(self) -> int:
+        return sum(h.spec.num_gpus for h in self.active_hosts)
+
+    def committed_training_gpus(self) -> int:
+        return sum(h.committed_training_gpus for h in self.active_hosts)
+
+    def idle_hosts(self) -> List[Host]:
+        """Hosts with no replica actively training (candidates for scale-in)."""
+        return [h for h in self.active_hosts if h.is_idle]
+
+    def subscription_ratio(self, replication_factor: int) -> float:
+        return cluster_subscription_ratio(self.active_hosts, replication_factor)
+
+
+class GlobalScheduler:
+    """Creates, routes to, migrates, and tears down distributed kernels."""
+
+    ADDRESS = "global-scheduler"
+
+    def __init__(self, env: Environment, cluster: ClusterState,
+                 platform_config: PlatformConfig, cluster_config: ClusterConfig,
+                 provisioner: VMProvisioner, prewarmer: ContainerPrewarmer,
+                 datastore: DistributedDataStore, metrics: MetricsCollector,
+                 placement: Optional[PlacementPolicy] = None,
+                 rng: Optional[SeededRandom] = None) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.config = platform_config
+        self.cluster_config = cluster_config
+        self.provisioner = provisioner
+        self.prewarmer = prewarmer
+        self.datastore = datastore
+        self.metrics = metrics
+        self.placement = placement or LeastLoadedPlacement(
+            oversubscription_enabled=platform_config.oversubscription_enabled,
+            subscription_ratio_limit=platform_config.subscription_ratio_limit,
+            high_watermark=platform_config.subscription_high_watermark)
+        self._rng = rng or SeededRandom(platform_config.seed)
+        self.kernels: Dict[str, DistributedKernel] = {}
+        self.pending_scale_out = 0
+        self.migrations_attempted = 0
+        self.migrations_aborted = 0
+        # Per-instance counter so that repeated runs with the same seed
+        # produce identical kernel ids (and therefore identical rng streams).
+        self._kernel_counter = count(1)
+
+    # ------------------------------------------------------------------
+    # Kernel creation (§3.2.1, Figure 4).
+    # ------------------------------------------------------------------
+    def next_kernel_id(self) -> str:
+        return f"kernel-{next(self._kernel_counter)}"
+
+    def start_kernel(self, session_id: str, resource_request: ResourceRequest,
+                     assignment: Optional[WorkloadAssignment] = None,
+                     replication_factor: Optional[int] = None):
+        """Simulation process: create a distributed kernel with R replicas."""
+        replication = replication_factor or self.config.replication_factor
+        kernel_id = self.next_kernel_id()
+        decision = self.placement.candidate_hosts(
+            self.cluster.active_hosts, resource_request, replication, replication)
+        if not decision.satisfied:
+            # §3.4.2: a failed placement triggers scale-out; placement resumes
+            # once the new servers have registered.
+            deficit = replication - len(decision.hosts)
+            yield self.env.process(self.scale_out(
+                max(1, deficit), reason=f"placement failure for {kernel_id}"))
+            decision = self.placement.candidate_hosts(
+                self.cluster.active_hosts, resource_request, replication, replication)
+            if not decision.satisfied:
+                # Fall back to reusing the least-loaded hosts even if the SR
+                # limit is exceeded, rather than failing the user's kernel.
+                fallback = sorted(self.cluster.active_hosts,
+                                  key=lambda h: h.subscribed_gpus)[:replication]
+                decision.hosts = fallback
+        kernel = DistributedKernel(kernel_id=kernel_id, session_id=session_id,
+                                   resource_request=resource_request,
+                                   assignment=assignment, created_at=self.env.now)
+        kernel.election = ExecutorElection(
+            kernel_id, rng=self._rng.substream(f"election:{kernel_id}"))
+        checkpoint = CheckpointManager(env=self.env, datastore=self.datastore,
+                                       kernel_id=kernel_id)
+        kernel.synchronizer = StateSynchronizer(
+            self.env, kernel_id, checkpoint,
+            rng=self._rng.substream(f"sync:{kernel_id}"))
+        # Start the replicas on their hosts in parallel.
+        start_processes = []
+        for index, host in enumerate(decision.hosts[:replication]):
+            scheduler = self.cluster.scheduler_for(host.host_id)
+            start_processes.append(self.env.process(
+                scheduler.start_kernel_replica(kernel, index)))
+        if start_processes:
+            yield AllOf(self.env, start_processes)
+        for process in start_processes:
+            kernel.add_replica(process.value)
+        self.kernels[kernel_id] = kernel
+        self.metrics.record_event(self.env.now, EventKind.KERNEL_CREATED,
+                                  f"{kernel_id} on {kernel.host_ids}")
+        return kernel
+
+    def shutdown_kernel(self, kernel: DistributedKernel):
+        """Simulation process: terminate every replica of a kernel."""
+        processes = []
+        for replica in list(kernel.active_replicas):
+            scheduler = self.cluster.scheduler_for(replica.host_id)
+            processes.append(self.env.process(scheduler.terminate_replica(replica)))
+        if processes:
+            yield AllOf(self.env, processes)
+        kernel.terminated_at = self.env.now
+        self.kernels.pop(kernel.kernel_id, None)
+        self.metrics.record_event(self.env.now, EventKind.KERNEL_TERMINATED,
+                                  kernel.kernel_id)
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Executor selection support.
+    # ------------------------------------------------------------------
+    def preferred_executor(self, kernel: DistributedKernel,
+                           gpus_required: int) -> Optional[str]:
+        """The replica the scheduler designates when it has enough information.
+
+        Prefers the previous executor (its GPU-resident state is warm), then
+        the replica on the host with the most idle GPUs.
+        """
+        candidates = [r for r in kernel.active_replicas if r.can_lead(gpus_required)]
+        if not candidates:
+            return None
+        last = kernel.election.last_executor_id if kernel.election else None
+        for replica in candidates:
+            if replica.replica_id == last:
+                return replica.replica_id
+        best = max(candidates, key=lambda r: (r.host.idle_gpus, -r.host.subscribed_gpus))
+        return best.replica_id
+
+    # ------------------------------------------------------------------
+    # Replica migration (§3.2.3).
+    # ------------------------------------------------------------------
+    def migrate_replica(self, kernel: DistributedKernel, gpus_required: int):
+        """Simulation process: migrate one replica to a host with idle GPUs.
+
+        Returns the new replica, or ``None`` if the migration was aborted
+        after exhausting its retries.
+        """
+        self.migrations_attempted += 1
+        victims = sorted(kernel.active_replicas,
+                         key=lambda r: r.host.idle_gpus)
+        if not victims:
+            return None
+        victim = victims[0]
+        victim.state = ReplicaState.MIGRATING
+
+        # The victim persists its important state to the data store first.
+        large_objects = [obj for obj in kernel.namespace_objects()
+                         if obj.size_bytes >= 1024 * 1024]
+        if kernel.synchronizer is not None and large_objects:
+            yield self.env.process(
+                kernel.synchronizer.checkpoint_manager.checkpoint_all(
+                    large_objects, node_id=victim.replica_id))
+
+        # Find a target host that can immediately and exclusively bind the GPUs.
+        request = ResourceRequest(millicpus=kernel.resource_request.millicpus,
+                                  memory_mb=kernel.resource_request.memory_mb,
+                                  gpus=max(gpus_required, kernel.resource_request.gpus),
+                                  vram_gb=kernel.resource_request.vram_gb)
+        target: Optional[Host] = None
+        for attempt in range(self.config.migration_max_retries + 1):
+            target = self.placement.migration_target(
+                self.cluster.active_hosts, request, self.config.replication_factor,
+                exclude_hosts=kernel.host_ids)
+            if target is not None:
+                break
+            if attempt == 0:
+                # Ask for more capacity while we retry.
+                self.env.process(self.scale_out(
+                    1, reason=f"migration of {kernel.kernel_id}"))
+            yield self.env.timeout(self.config.migration_retry_interval_s)
+        if target is None:
+            self.migrations_aborted += 1
+            victim.state = ReplicaState.IDLE
+            self.metrics.record_event(self.env.now, EventKind.ELECTION_FAILED,
+                                      f"{kernel.kernel_id}: migration aborted")
+            return None
+
+        # The target host must be able to *immediately and exclusively* bind
+        # the required GPUs to the migrated replica (§3.2.3): bind them now so
+        # no co-located kernel can steal them while the container provisions.
+        if gpus_required > 0 and target.can_bind_gpus(gpus_required):
+            target.bind_gpus(kernel.kernel_id, gpus_required, self.env.now)
+
+        # Provision the new replica (pre-warmed container if available).
+        scheduler = self.cluster.scheduler_for(target.host_id)
+        prefer_prewarmed = self.prewarmer.available(target.host_id) > 0
+        new_replica = yield self.env.process(scheduler.start_kernel_replica(
+            kernel, victim.replica_index, prefer_prewarmed=prefer_prewarmed))
+
+        # The new replica restores persisted state from remote storage.
+        if kernel.synchronizer is not None and \
+                kernel.synchronizer.checkpoint_manager.checkpointed_names:
+            yield self.env.process(
+                kernel.synchronizer.checkpoint_manager.restore_all(
+                    node_id=new_replica.replica_id))
+
+        # Terminate the original replica and reconfigure the Raft group.
+        old_scheduler = self.cluster.scheduler_for(victim.host_id)
+        yield self.env.process(old_scheduler.terminate_replica(victim))
+        kernel.remove_replica(victim.replica_id)
+        kernel.add_replica(new_replica)
+        kernel.migrations += 1
+        self.metrics.record_event(self.env.now, EventKind.KERNEL_MIGRATION,
+                                  f"{kernel.kernel_id}: {victim.host_id} -> {target.host_id}")
+        return new_replica
+
+    # ------------------------------------------------------------------
+    # Scale-out / scale-in (§3.4.2).
+    # ------------------------------------------------------------------
+    def scale_out(self, num_hosts: int, reason: str = "auto-scale"):
+        """Simulation process: provision ``num_hosts`` additional GPU servers."""
+        if num_hosts <= 0:
+            return []
+        current = len(self.cluster.active_hosts)
+        allowed = max(0, self.cluster_config.max_hosts - current - self.pending_scale_out)
+        num_hosts = min(num_hosts, allowed)
+        if num_hosts <= 0:
+            return []
+        self.pending_scale_out += num_hosts
+        try:
+            processes = [self.env.process(self.provisioner.provision(reason=reason))
+                         for _ in range(num_hosts)]
+            yield AllOf(self.env, processes)
+            hosts = [p.value for p in processes]
+            for host in hosts:
+                scheduler = LocalScheduler(
+                    self.env, host, prewarmer=self.prewarmer,
+                    container_latency=self.config.container_latency,
+                    rng=self._rng.substream(f"ls:{host.host_id}"),
+                    processing_delay=self.config.ls_processing_s)
+                self.cluster.add_host(host, scheduler)
+            self.metrics.record_event(self.env.now, EventKind.SCALE_OUT,
+                                      f"+{len(hosts)} hosts ({reason})")
+            return hosts
+        finally:
+            self.pending_scale_out -= num_hosts
+
+    def scale_in(self, max_hosts: Optional[int] = None):
+        """Simulation process: release up to ``max_hosts`` idle GPU servers."""
+        max_hosts = max_hosts or self.config.max_scale_in_per_round
+        releasable = [h for h in self.cluster.idle_hosts()
+                      if h.container_count == 0 and h.subscribed_gpus == 0]
+        current = len(self.cluster.active_hosts)
+        can_release = max(0, current - self.cluster_config.min_hosts)
+        to_release = releasable[:min(max_hosts, can_release)]
+        for host in to_release:
+            # Mark the host inactive immediately so concurrent placement
+            # decisions stop considering it before we yield.
+            host.decommission(self.env.now)
+            scheduler = self.cluster.scheduler_for(host.host_id)
+            yield self.env.process(scheduler.decommission())
+            self.provisioner.release(host)
+            self.cluster.remove_host(host.host_id)
+        if to_release:
+            self.metrics.record_event(self.env.now, EventKind.SCALE_IN,
+                                      f"-{len(to_release)} hosts")
+        return to_release
+
+    # ------------------------------------------------------------------
+    # Failure handling (§3.2.5).
+    # ------------------------------------------------------------------
+    def handle_replica_failure(self, kernel: DistributedKernel, replica: KernelReplica):
+        """Simulation process: recreate a failed replica from persisted state."""
+        self.metrics.record_event(self.env.now, EventKind.REPLICA_FAILURE,
+                                  f"{kernel.kernel_id}/{replica.replica_id}")
+        scheduler = self.cluster.scheduler_for(replica.host_id)
+        yield self.env.process(scheduler.terminate_replica(replica))
+        kernel.remove_replica(replica.replica_id)
+        decision = self.placement.candidate_hosts(
+            self.cluster.active_hosts, kernel.resource_request, 1,
+            self.config.replication_factor, exclude_hosts=kernel.host_ids)
+        target = decision.hosts[0] if decision.hosts else replica.host
+        new_scheduler = self.cluster.scheduler_for(target.host_id)
+        new_replica = yield self.env.process(new_scheduler.start_kernel_replica(
+            kernel, replica.replica_index,
+            prefer_prewarmed=self.prewarmer.available(target.host_id) > 0))
+        if kernel.synchronizer is not None and \
+                kernel.synchronizer.checkpoint_manager.checkpointed_names:
+            yield self.env.process(kernel.synchronizer.checkpoint_manager.restore_all(
+                node_id=new_replica.replica_id))
+        kernel.add_replica(new_replica)
+        return new_replica

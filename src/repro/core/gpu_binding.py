@@ -1,0 +1,49 @@
+"""Dynamic GPU binding and host↔GPU data movement costs (§3.3).
+
+NotebookOS binds GPUs to a kernel replica right before it executes
+user-submitted code and releases them as soon as the task completes.  On the
+critical path it loads model parameters from host memory onto the allocated
+GPUs ("typically ... up to a couple hundred milliseconds"), and after the
+task it copies updated GPU state back to host memory before returning the
+result to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulation.distributions import SeededRandom
+from repro.workload.models import ModelProfile
+
+
+@dataclass
+class GpuBindingModel:
+    """Latency model for GPU bind / unbind data movement."""
+
+    # Effective host→GPU and GPU→host copy bandwidth (PCIe gen3 x16-ish after
+    # framework overheads).
+    host_to_gpu_bandwidth_bytes_per_s: float = 6e9
+    gpu_to_host_bandwidth_bytes_per_s: float = 5e9
+    bind_overhead_s: float = 0.020
+    unbind_overhead_s: float = 0.010
+    jitter_sigma: float = 0.15
+
+    def _jitter(self, value: float, rng: Optional[SeededRandom]) -> float:
+        if rng is None:
+            return value
+        return value * max(0.5, rng.gauss(1.0, self.jitter_sigma))
+
+    def load_time(self, model: Optional[ModelProfile],
+                  rng: Optional[SeededRandom] = None) -> float:
+        """Time to load model parameters from host memory onto the GPUs."""
+        parameter_bytes = model.parameter_bytes if model is not None else 0
+        copy_time = parameter_bytes / self.host_to_gpu_bandwidth_bytes_per_s
+        return self._jitter(self.bind_overhead_s + copy_time, rng)
+
+    def unload_time(self, model: Optional[ModelProfile],
+                    rng: Optional[SeededRandom] = None) -> float:
+        """Time to copy updated GPU state back to host memory after a task."""
+        parameter_bytes = model.parameter_bytes if model is not None else 0
+        copy_time = parameter_bytes / self.gpu_to_host_bandwidth_bytes_per_s
+        return self._jitter(self.unbind_overhead_s + copy_time, rng)

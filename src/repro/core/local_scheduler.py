@@ -1,0 +1,128 @@
+"""The per-server Local Scheduler.
+
+A Local Scheduler runs on every GPU server (Figure 3).  It provisions and
+manages the containers hosting kernel replicas, forwards messages from the
+Global Scheduler to its local replicas, binds GPUs for executing replicas,
+and cleans up on termination.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional
+
+from repro.cluster.container import ContainerLatencyModel, ContainerRuntime
+from repro.cluster.host import Host
+from repro.cluster.prewarmer import ContainerPrewarmer
+from repro.cluster.resources import ResourceRequest
+from repro.core.distributed_kernel import DistributedKernel, KernelReplica, ReplicaState
+from repro.simulation.distributions import SeededRandom
+from repro.simulation.engine import Environment
+
+_REPLICA_IDS = count(1)
+
+
+class LocalScheduler:
+    """Manages kernel replica containers on one GPU server."""
+
+    def __init__(self, env: Environment, host: Host,
+                 prewarmer: Optional[ContainerPrewarmer] = None,
+                 container_latency: Optional[ContainerLatencyModel] = None,
+                 rng: Optional[SeededRandom] = None,
+                 processing_delay: float = 0.002) -> None:
+        self.env = env
+        self.host = host
+        self.prewarmer = prewarmer
+        self.processing_delay = processing_delay
+        self._rng = rng or SeededRandom(hash(host.host_id) & 0x7FFFFFFF)
+        self.runtime = ContainerRuntime(env, host.host_id,
+                                        latency_model=container_latency,
+                                        rng=self._rng.substream("containers"))
+        self.replicas: Dict[str, KernelReplica] = {}
+        if prewarmer is not None:
+            prewarmer.register_host(host.host_id, self.runtime)
+
+    @property
+    def host_id(self) -> str:
+        return self.host.host_id
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def replicas_for_kernel(self, kernel_id: str) -> List[KernelReplica]:
+        return [r for r in self.replicas.values() if r.kernel_id == kernel_id]
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle.
+    # ------------------------------------------------------------------
+    def start_kernel_replica(self, kernel: DistributedKernel, replica_index: int,
+                             prefer_prewarmed: bool = False):
+        """Simulation process: provision a container and start a kernel replica.
+
+        This is the handler for the Global Scheduler's ``StartKernelReplica``
+        RPC (Figure 4, steps 3–5): provision (or reuse a pre-warmed)
+        container, start the replica inside it, register it with this Local
+        Scheduler, and subscribe the kernel's GPU request on the host.
+        """
+        yield self.env.timeout(self.processing_delay)
+        # Subscribe the host up front so that concurrent scale-in decisions
+        # cannot decommission it while the container is still provisioning.
+        self.host.subscribe(kernel.kernel_id, kernel.resource_request.gpus)
+        container = None
+        was_prewarmed = False
+        if prefer_prewarmed and self.prewarmer is not None:
+            container = self.prewarmer.take(self.host_id)
+            if container is not None:
+                was_prewarmed = True
+                # The pre-warmed container only needs a warm (re)start.
+                yield self.env.timeout(
+                    self.runtime.latency_model.warm_start(self._rng))
+        if container is None:
+            container = yield self.env.process(
+                self.runtime.provision(kernel.resource_request, prewarmed=False))
+        replica_id = f"{kernel.kernel_id}-replica-{replica_index}-{next(_REPLICA_IDS)}"
+        container.assign(kernel.kernel_id, replica_id)
+        replica = KernelReplica(replica_id=replica_id, kernel_id=kernel.kernel_id,
+                                replica_index=replica_index, host=self.host,
+                                container=container, created_at=self.env.now,
+                                was_prewarmed=was_prewarmed)
+        replica.state = ReplicaState.IDLE
+        self.replicas[replica_id] = replica
+        self.host.register_container(container.container_id, container)
+        return replica
+
+    def terminate_replica(self, replica: KernelReplica):
+        """Simulation process: tear down a replica and its container."""
+        yield self.env.timeout(self.processing_delay)
+        replica.terminate()
+        self.replicas.pop(replica.replica_id, None)
+        self.host.unregister_container(replica.container.container_id)
+        if not self.replicas_for_kernel(replica.kernel_id):
+            self.host.unsubscribe(replica.kernel_id)
+        if replica.kernel_id in self.host.gpus.owners():
+            self.host.release_gpus(replica.kernel_id, self.env.now)
+        yield self.env.process(self.runtime.terminate(replica.container))
+        return replica
+
+    # ------------------------------------------------------------------
+    # GPU binding on behalf of an executing replica (§3.3).
+    # ------------------------------------------------------------------
+    def bind_gpus(self, replica: KernelReplica, gpus: int) -> List[int]:
+        """Exclusively bind ``gpus`` devices to the replica's kernel."""
+        if gpus == 0:
+            return []
+        return self.host.bind_gpus(replica.kernel_id, gpus, self.env.now)
+
+    def release_gpus(self, replica: KernelReplica) -> int:
+        if replica.kernel_id not in self.host.gpus.owners():
+            return 0
+        return self.host.release_gpus(replica.kernel_id, self.env.now)
+
+    def decommission(self):
+        """Simulation process: terminate every replica (host scale-in)."""
+        for replica in list(self.replicas.values()):
+            yield self.env.process(self.terminate_replica(replica))
+        if self.prewarmer is not None:
+            self.prewarmer.unregister_host(self.host_id)
+        return True

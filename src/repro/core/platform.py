@@ -1,0 +1,251 @@
+"""The NotebookOS platform facade and experiment runner.
+
+:class:`NotebookOSPlatform` wires every component together — the simulation
+environment, network, GPU server cluster, Local and Global Schedulers,
+pre-warmed container pool, distributed data store, auto-scaler, Jupyter
+Server, and metrics collector — and replays a workload trace against a
+scheduling policy.
+
+:func:`run_experiment` is the one-call entry point used by the examples and
+the benchmark harnesses::
+
+    from repro import run_experiment
+    from repro.workload import AdobeTraceGenerator
+
+    trace = AdobeTraceGenerator(seed=1, num_sessions=20, duration_hours=2).generate()
+    result = run_experiment(trace, policy="notebookos")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Dict, List, Optional, Union
+
+from repro.cluster.datastore import DistributedDataStore
+from repro.cluster.prewarmer import ContainerPrewarmer, PrewarmPolicy
+from repro.cluster.provisioner import VMProvisioner
+from repro.core.autoscaler import AutoScaler
+from repro.core.config import ClusterConfig, PlatformConfig
+from repro.core.global_scheduler import ClusterState, GlobalScheduler
+from repro.core.gpu_binding import GpuBindingModel
+from repro.core.local_scheduler import LocalScheduler
+from repro.core.placement import LeastLoadedPlacement
+from repro.jupyter.server import JupyterServer
+from repro.jupyter.session import NotebookSession
+from repro.metrics.collector import EventKind, ExperimentResult, MetricsCollector
+from repro.metrics.latency_breakdown import LatencyBreakdown
+from repro.simulation.distributions import SeededRandom
+from repro.simulation.engine import Environment
+from repro.simulation.events import AllOf
+from repro.simulation.network import Network
+from repro.workload.trace import SessionTrace, Trace
+
+
+class NotebookOSPlatform:
+    """A fully wired NotebookOS deployment running inside the simulator."""
+
+    def __init__(self, policy, cluster_config: Optional[ClusterConfig] = None,
+                 platform_config: Optional[PlatformConfig] = None) -> None:
+        self.policy = policy
+        self.cluster_config = cluster_config or ClusterConfig()
+        self.config = platform_config or PlatformConfig()
+        self.cluster_config.validate()
+        self.config.validate()
+
+        self.env = Environment()
+        self.rng = SeededRandom(self.config.seed)
+        self.network = Network(self.env, rng=self.rng.substream("network"))
+        self.metrics = MetricsCollector(
+            sample_interval=self.config.metrics_sample_interval_s)
+        self.breakdown = LatencyBreakdown(policy=getattr(policy, "name", "unknown"))
+        self.gpu_binding = GpuBindingModel()
+
+        # Infrastructure substrate.
+        self.provisioner = VMProvisioner(
+            self.env, host_spec=self.cluster_config.host_spec,
+            boot_time_mean=self.cluster_config.vm_boot_time_mean_s,
+            rng=self.rng.substream("provisioner"))
+        self.datastore = DistributedDataStore(
+            self.env, backend=self.config.datastore_backend,
+            rng=self.rng.substream("datastore"))
+        self.prewarmer = ContainerPrewarmer(
+            self.env, policy=self.config.prewarm_policy)
+        self.cluster = ClusterState(self.env)
+        for host in self.provisioner.provision_immediately(self.cluster_config.initial_hosts):
+            scheduler = LocalScheduler(
+                self.env, host, prewarmer=self.prewarmer,
+                container_latency=self.config.container_latency,
+                rng=self.rng.substream(f"ls:{host.host_id}"),
+                processing_delay=self.config.ls_processing_s)
+            self.cluster.add_host(host, scheduler)
+        self.prewarmer.start_maintenance()
+
+        # Control plane.
+        placement = LeastLoadedPlacement(
+            oversubscription_enabled=self.config.oversubscription_enabled,
+            subscription_ratio_limit=self.config.subscription_ratio_limit,
+            high_watermark=self.config.subscription_high_watermark)
+        self.global_scheduler = GlobalScheduler(
+            self.env, self.cluster, self.config, self.cluster_config,
+            provisioner=self.provisioner, prewarmer=self.prewarmer,
+            datastore=self.datastore, metrics=self.metrics, placement=placement,
+            rng=self.rng.substream("global-scheduler"))
+        self.autoscaler = AutoScaler(self.env, self.global_scheduler,
+                                     self.config, self.cluster_config)
+        self.jupyter_server = JupyterServer(
+            self.env, self.network, processing_delay=self.config.jupyter_processing_s)
+
+        # Run-time session bookkeeping.
+        self.sessions: Dict[str, NotebookSession] = {}
+        self.active_session_count = 0
+        self.active_training_count = 0
+        self._background_processes: List = []
+
+    # ------------------------------------------------------------------
+    # Helpers used by policies.
+    # ------------------------------------------------------------------
+    def spawn_background(self, generator) -> None:
+        """Run a generator as a fire-and-forget background process."""
+        self._background_processes.append(self.env.process(generator))
+
+    # ------------------------------------------------------------------
+    # Workload replay.
+    # ------------------------------------------------------------------
+    def run_workload(self, trace: Trace, until: Optional[float] = None) -> ExperimentResult:
+        """Replay ``trace`` under this platform's policy and collect metrics."""
+        started_wallclock = _wallclock.monotonic()
+        horizon = until if until is not None else trace.duration
+        self.env.process(self._sampler_loop(horizon), name="metrics-sampler")
+        if self.policy.uses_autoscaler and self.config.autoscaler_enabled:
+            self.autoscaler.start()
+        session_processes = [
+            self.env.process(self._session_process(session),
+                             name=f"session:{session.session_id}")
+            for session in trace]
+        if session_processes:
+            self.env.run(until=AllOf(self.env, session_processes))
+        if self.env.now < horizon:
+            self.env.run(until=horizon)
+        self._finalize_metrics()
+        result = ExperimentResult(policy=getattr(self.policy, "name", "unknown"),
+                                  trace_name=trace.name, collector=self.metrics,
+                                  wall_clock_runtime=_wallclock.monotonic() - started_wallclock,
+                                  breakdown=self.breakdown)
+        return result
+
+    def _finalize_metrics(self) -> None:
+        self.metrics.datastore_read_latencies = list(self.datastore.read_latencies)
+        self.metrics.datastore_write_latencies = list(self.datastore.write_latencies)
+
+    # ------------------------------------------------------------------
+    # Per-session driver.
+    # ------------------------------------------------------------------
+    def _session_process(self, session: SessionTrace):
+        env = self.env
+        if session.start_time > env.now:
+            yield env.timeout(session.start_time - env.now)
+        notebook_session = NotebookSession(
+            session_id=session.session_id, user_id=session.user_id,
+            kernel_id=f"{session.session_id}-kernel",
+            gpus_required=session.gpus_requested, created_at=env.now)
+        notebook_session.activate(env.now)
+        self.sessions[session.session_id] = notebook_session
+        self.jupyter_server.register_session(notebook_session)
+        self.active_session_count += 1
+        self.metrics.record_event(env.now, EventKind.SESSION_STARTED,
+                                  session.session_id)
+        try:
+            yield env.process(self.policy.on_session_start(self, session))
+            for task in sorted(session.tasks, key=lambda t: t.submit_time):
+                if task.submit_time > env.now:
+                    yield env.timeout(task.submit_time - env.now)
+                metrics = self.metrics.new_task(
+                    session_id=session.session_id, kernel_id=notebook_session.kernel_id,
+                    submitted_at=env.now, gpus=task.gpus, is_gpu_task=task.is_gpu_task)
+                if task.is_gpu_task:
+                    self.active_training_count += 1
+                try:
+                    yield env.process(self.policy.execute_task(self, session, task,
+                                                               metrics))
+                finally:
+                    if task.is_gpu_task:
+                        self.active_training_count -= 1
+                self.breakdown.add(metrics.steps)
+            if session.end_time > env.now:
+                yield env.timeout(session.end_time - env.now)
+            yield env.process(self.policy.on_session_end(self, session))
+        finally:
+            # Non-yielding bookkeeping only: this block must stay safe even if
+            # the session process is torn down with an exception in flight.
+            notebook_session.terminate(env.now)
+            self.active_session_count -= 1
+            self.metrics.record_event(env.now, EventKind.SESSION_TERMINATED,
+                                      session.session_id)
+
+    # ------------------------------------------------------------------
+    # Periodic cluster sampling.
+    # ------------------------------------------------------------------
+    def _sampler_loop(self, horizon: float):
+        while self.env.now <= horizon:
+            self.metrics.sample_cluster(
+                time=self.env.now,
+                provisioned_gpus=int(self.policy.provisioned_gpus(self)),
+                committed_gpus=self.cluster.committed_training_gpus(),
+                active_sessions=self.active_session_count,
+                active_trainings=self.active_training_count,
+                subscription_ratio=self.cluster.subscription_ratio(
+                    max(1, self.config.replication_factor)),
+                provisioned_hosts=len(self.cluster.active_hosts))
+            yield self.env.timeout(self.config.metrics_sample_interval_s)
+
+
+def run_experiment(trace: Trace, policy: Union[str, object] = "notebookos",
+                   cluster_config: Optional[ClusterConfig] = None,
+                   platform_config: Optional[PlatformConfig] = None,
+                   seed: Optional[int] = None) -> ExperimentResult:
+    """Run one trace under one policy and return the collected metrics.
+
+    ``policy`` may be a registry name (``"notebookos"``, ``"reservation"``,
+    ``"batch"``, ``"lcp"``) or an already constructed policy object.  When no
+    cluster configuration is supplied, a sensible default is chosen per
+    policy: elastic policies (NotebookOS, LCP) start with a small cluster and
+    rely on auto-scaling; Reservation and Batch get a cluster large enough to
+    hold the trace's peak demand, mirroring the statically provisioned
+    clusters those baselines represent.
+    """
+    from repro.policies import make_policy
+
+    if isinstance(policy, str):
+        policy_obj = make_policy(policy)
+    else:
+        policy_obj = policy
+
+    platform_config = platform_config or PlatformConfig()
+    if seed is not None:
+        platform_config.seed = seed
+    if cluster_config is None:
+        peak_gpus = _peak_gpu_demand(trace)
+        gpus_per_host = 8
+        if getattr(policy_obj, "uses_autoscaler", False):
+            initial = max(2, (peak_gpus // gpus_per_host) // 4 + 1)
+        else:
+            initial = max(2, peak_gpus // gpus_per_host + 2)
+        cluster_config = ClusterConfig(initial_hosts=initial,
+                                       max_hosts=max(60, initial * 4))
+    platform = NotebookOSPlatform(policy_obj, cluster_config=cluster_config,
+                                  platform_config=platform_config)
+    return platform.run_workload(trace)
+
+
+def _peak_gpu_demand(trace: Trace) -> int:
+    """Peak GPUs reserved by concurrently active sessions."""
+    events = []
+    for session in trace:
+        events.append((session.start_time, session.gpus_requested))
+        events.append((session.end_time, -session.gpus_requested))
+    peak = current = 0
+    for _, delta in sorted(events):
+        current += delta
+        peak = max(peak, current)
+    return max(peak, 8)

@@ -1,0 +1,59 @@
+"""Notebook clients.
+
+A :class:`NotebookClient` models one user's browser session: it submits cell
+executions to the Jupyter Server and waits for the replies.  The workload
+driver (:mod:`repro.workload.driver`) instantiates one client per trace
+session.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jupyter.messages import ExecuteReply, ExecuteRequest, JupyterMessage
+from repro.jupyter.server import JupyterServer
+from repro.jupyter.session import CellExecution, NotebookCell, NotebookSession
+from repro.simulation.engine import Environment
+
+
+class NotebookClient:
+    """One user's notebook client, bound to a session."""
+
+    def __init__(self, env: Environment, server: JupyterServer,
+                 session: NotebookSession) -> None:
+        self.env = env
+        self.server = server
+        self.session = session
+        self.submitted: List[ExecuteRequest] = []
+        self.replies: List[JupyterMessage] = []
+
+    def submit_cell(self, cell: NotebookCell):
+        """Simulation process: submit one cell and wait for the reply.
+
+        Returns the :class:`CellExecution` record for the submission.
+        """
+        request = ExecuteRequest(kernel_id=self.session.kernel_id,
+                                 session_id=self.session.session_id,
+                                 code=cell.code, gpus_required=cell.gpus_required,
+                                 created_at=self.env.now,
+                                 metadata={"expected_duration": cell.expected_duration})
+        execution = CellExecution(cell=cell, submitted_at=self.env.now)
+        self.session.record_execution(execution)
+        self.submitted.append(request)
+        reply = yield self.env.process(self.server.forward_to_scheduler(request))
+        self.replies.append(reply)
+        if execution.completed_at is None:
+            status = "ok"
+            executor: Optional[str] = None
+            if isinstance(reply, JupyterMessage):
+                status = reply.content.get("status", "ok")
+                executor = reply.content.get("executor_replica")
+            execution.mark_completed(self.env.now, status=status,
+                                     executor_replica=executor)
+        return execution
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for reply in self.replies
+                   if isinstance(reply, (ExecuteReply, JupyterMessage))
+                   and reply.content.get("status") not in (None, "ok"))

@@ -1,0 +1,138 @@
+"""Jupyter (IPython) protocol messages.
+
+Only the subset of the protocol the NotebookOS control plane touches is
+modelled: execute requests and replies, the NotebookOS-specific
+``yield_request`` conversion (§3.2.2), kernel lifecycle messages, and status
+updates.  Message identity and parent linkage follow the real protocol so the
+routing code paths (Jupyter Server → Global Scheduler → Local Scheduler →
+kernel replica) look like the production implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+_MESSAGE_COUNTER = count(1)
+
+
+def new_message_id() -> str:
+    """Generate a unique Jupyter message identifier."""
+    return f"msg-{next(_MESSAGE_COUNTER)}"
+
+
+class MessageType(enum.Enum):
+    """The Jupyter message types used by the platform."""
+
+    EXECUTE_REQUEST = "execute_request"
+    EXECUTE_REPLY = "execute_reply"
+    YIELD_REQUEST = "yield_request"
+    KERNEL_INFO_REQUEST = "kernel_info_request"
+    KERNEL_INFO_REPLY = "kernel_info_reply"
+    STATUS = "status"
+    SHUTDOWN_REQUEST = "shutdown_request"
+    SHUTDOWN_REPLY = "shutdown_reply"
+
+
+@dataclass
+class JupyterMessage:
+    """A generic Jupyter protocol message."""
+
+    msg_type: MessageType
+    kernel_id: str
+    session_id: str
+    content: Dict[str, Any] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    msg_id: str = field(default_factory=new_message_id)
+    parent_msg_id: Optional[str] = None
+    created_at: float = 0.0
+
+    def reply(self, msg_type: MessageType, content: Optional[Dict[str, Any]] = None,
+              created_at: float = 0.0) -> "JupyterMessage":
+        """Construct a reply message parented to this message."""
+        return JupyterMessage(msg_type=msg_type, kernel_id=self.kernel_id,
+                              session_id=self.session_id,
+                              content=dict(content or {}),
+                              parent_msg_id=self.msg_id, created_at=created_at)
+
+
+@dataclass
+class ExecuteRequest(JupyterMessage):
+    """An ``execute_request`` carrying the code of one notebook cell."""
+
+    def __init__(self, kernel_id: str, session_id: str, code: str,
+                 gpus_required: int = 0, created_at: float = 0.0,
+                 metadata: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(msg_type=MessageType.EXECUTE_REQUEST, kernel_id=kernel_id,
+                         session_id=session_id,
+                         content={"code": code, "gpus_required": gpus_required},
+                         metadata=dict(metadata or {}), created_at=created_at)
+
+    @property
+    def code(self) -> str:
+        return self.content["code"]
+
+    @property
+    def gpus_required(self) -> int:
+        return self.content["gpus_required"]
+
+
+@dataclass
+class YieldRequest(JupyterMessage):
+    """A converted request instructing a replica not to lead the election."""
+
+    def __init__(self, original: JupyterMessage, designated_replica: Optional[str],
+                 created_at: float = 0.0) -> None:
+        super().__init__(msg_type=MessageType.YIELD_REQUEST,
+                         kernel_id=original.kernel_id,
+                         session_id=original.session_id,
+                         content=dict(original.content),
+                         parent_msg_id=original.msg_id, created_at=created_at)
+        self.content["designated_replica"] = designated_replica
+
+    @property
+    def designated_replica(self) -> Optional[str]:
+        return self.content.get("designated_replica")
+
+
+@dataclass
+class ExecuteReply(JupyterMessage):
+    """An ``execute_reply`` carrying the execution outcome."""
+
+    def __init__(self, request: JupyterMessage, status: str = "ok",
+                 execution_time: float = 0.0, executor_replica: Optional[str] = None,
+                 error: Optional[str] = None, created_at: float = 0.0) -> None:
+        super().__init__(msg_type=MessageType.EXECUTE_REPLY,
+                         kernel_id=request.kernel_id, session_id=request.session_id,
+                         content={"status": status, "execution_time": execution_time,
+                                  "executor_replica": executor_replica,
+                                  "error": error},
+                         parent_msg_id=request.msg_id, created_at=created_at)
+
+    @property
+    def status(self) -> str:
+        return self.content["status"]
+
+    @property
+    def is_error(self) -> bool:
+        return self.status != "ok"
+
+
+def merge_replies(replies: list[JupyterMessage]) -> Optional[JupyterMessage]:
+    """Merge per-replica ``execute_reply`` messages into one client reply.
+
+    The Global Scheduler aggregates the replies from every replica before
+    forwarding a single reply to the Jupyter Server (§3.2.2 step 9).  The
+    executor replica's reply (the one recording a non-zero execution time or
+    an explicit executor id) wins; error replies only surface if every reply
+    errored.
+    """
+    if not replies:
+        return None
+    ok_replies = [r for r in replies if r.content.get("status") == "ok"]
+    candidates = ok_replies or replies
+    best = max(candidates, key=lambda r: (r.content.get("executor_replica") is not None,
+                                          r.content.get("execution_time", 0.0)))
+    return best

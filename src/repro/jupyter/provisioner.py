@@ -1,0 +1,75 @@
+"""The Gateway (kernel) provisioner.
+
+Jupyter's *kernel provisioner* API lets third parties manage the lifecycle of
+a kernel's runtime environment.  NotebookOS implements a custom
+``GatewayProvisioner`` that turns Jupyter's "start kernel" calls into
+``StartKernel`` RPCs against the Global Scheduler (§3.2.1, Figure 4 step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.resources import ResourceRequest
+from repro.simulation.engine import Environment
+from repro.simulation.network import Network
+
+
+@dataclass
+class KernelConnectionInfo:
+    """Connection details returned once a kernel's replicas are running."""
+
+    kernel_id: str
+    replica_addresses: Dict[str, str] = field(default_factory=dict)
+    created_at: float = 0.0
+
+
+class GatewayProvisioner:
+    """Issues ``StartKernel`` RPCs to the Global Scheduler for new kernels."""
+
+    ADDRESS = "gateway-provisioner"
+
+    def __init__(self, env: Environment, network: Network,
+                 global_scheduler_address: str = "global-scheduler") -> None:
+        self.env = env
+        self.network = network
+        self.global_scheduler_address = global_scheduler_address
+        self.kernels: Dict[str, KernelConnectionInfo] = {}
+        self.start_requests = 0
+        self.failed_starts = 0
+        network.register(self.ADDRESS)
+
+    def start_kernel(self, kernel_id: str, session_id: str,
+                     resource_request: ResourceRequest):
+        """Simulation process: ask the Global Scheduler to create a kernel.
+
+        Returns the :class:`KernelConnectionInfo` once every replica has been
+        provisioned and the kernel's Raft group is operational.
+        """
+        self.start_requests += 1
+        reply_event = self.network.rpc(
+            self.ADDRESS, self.global_scheduler_address, "rpc.start_kernel",
+            payload={"kernel_id": kernel_id, "session_id": session_id,
+                     "resource_request": resource_request})
+        result = yield reply_event
+        if isinstance(result, Exception):
+            self.failed_starts += 1
+            raise result
+        info = KernelConnectionInfo(kernel_id=kernel_id,
+                                    replica_addresses=dict(result or {}),
+                                    created_at=self.env.now)
+        self.kernels[kernel_id] = info
+        return info
+
+    def shutdown_kernel(self, kernel_id: str):
+        """Simulation process: ask the Global Scheduler to tear a kernel down."""
+        reply_event = self.network.rpc(self.ADDRESS, self.global_scheduler_address,
+                                       "rpc.shutdown_kernel",
+                                       payload={"kernel_id": kernel_id})
+        yield reply_event
+        self.kernels.pop(kernel_id, None)
+        return True
+
+    def connection_info(self, kernel_id: str) -> Optional[KernelConnectionInfo]:
+        return self.kernels.get(kernel_id)

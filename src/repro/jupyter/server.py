@@ -1,0 +1,73 @@
+"""The Jupyter Server front end.
+
+Clients talk HTTP/WebSockets to the Jupyter Server, which forwards kernel
+messages to the Global Scheduler (Figure 3, steps 1–2).  In the simulation
+the server is a thin routing component with a small per-message processing
+cost; its value is in keeping the request path (client → server → global
+scheduler → local scheduler → replica) structurally identical to the paper's
+Figure 15 so the per-step latency breakdown can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.jupyter.messages import JupyterMessage
+from repro.jupyter.session import NotebookSession
+from repro.simulation.engine import Environment
+from repro.simulation.network import Network
+
+
+class JupyterServer:
+    """Accepts client messages and forwards them to the Global Scheduler."""
+
+    ADDRESS = "jupyter-server"
+
+    def __init__(self, env: Environment, network: Network,
+                 global_scheduler_address: str = "global-scheduler",
+                 processing_delay: float = 0.002) -> None:
+        self.env = env
+        self.network = network
+        self.global_scheduler_address = global_scheduler_address
+        self.processing_delay = processing_delay
+        self.sessions: Dict[str, NotebookSession] = {}
+        self.messages_forwarded = 0
+        self.replies_returned = 0
+        network.register(self.ADDRESS)
+
+    # ------------------------------------------------------------------
+    # Session registry.
+    # ------------------------------------------------------------------
+    def register_session(self, session: NotebookSession) -> None:
+        self.sessions[session.session_id] = session
+
+    def remove_session(self, session_id: str) -> None:
+        self.sessions.pop(session_id, None)
+
+    def session_for_kernel(self, kernel_id: str) -> Optional[NotebookSession]:
+        for session in self.sessions.values():
+            if session.kernel_id == kernel_id:
+                return session
+        return None
+
+    @property
+    def active_session_count(self) -> int:
+        return sum(1 for s in self.sessions.values() if s.is_active)
+
+    # ------------------------------------------------------------------
+    # Message forwarding.
+    # ------------------------------------------------------------------
+    def forward_to_scheduler(self, message: JupyterMessage):
+        """Simulation process: forward a client message to the Global Scheduler.
+
+        Returns an event that the Global Scheduler resolves with the final
+        (aggregated) reply message.
+        """
+        yield self.env.timeout(self.processing_delay)
+        self.messages_forwarded += 1
+        reply_event = self.network.rpc(self.ADDRESS, self.global_scheduler_address,
+                                       f"jupyter.{message.msg_type.value}",
+                                       payload=message)
+        reply = yield reply_event
+        self.replies_returned += 1
+        return reply

@@ -1,0 +1,141 @@
+"""Notebook sessions, cells, and execution history.
+
+A *notebook session* is the persistent working instance of a notebook
+environment whose variables and execution context are maintained by the
+associated kernel (§2.1).  Sessions are long-lived; the cell executions they
+submit are short-lived — the defining property of IDLT workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a notebook session."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    IDLE_RECLAIMED = "idle_reclaimed"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class NotebookCell:
+    """One cell of a notebook: code plus the resources it needs."""
+
+    code: str
+    gpus_required: int = 0
+    expected_duration: float = 0.0
+    cell_index: int = 0
+
+    @property
+    def is_gpu_cell(self) -> bool:
+        return self.gpus_required > 0
+
+
+@dataclass
+class CellExecution:
+    """A record of one cell task execution within a session."""
+
+    cell: NotebookCell
+    submitted_at: float
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    executor_replica: Optional[str] = None
+    status: str = "pending"
+    interactivity_delay: Optional[float] = None
+
+    @property
+    def task_completion_time(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def mark_started(self, now: float) -> None:
+        self.started_at = now
+        self.interactivity_delay = now - self.submitted_at
+        self.status = "running"
+
+    def mark_completed(self, now: float, status: str = "ok",
+                       executor_replica: Optional[str] = None) -> None:
+        self.completed_at = now
+        self.status = status
+        if executor_replica is not None:
+            self.executor_replica = executor_replica
+
+
+@dataclass
+class NotebookSession:
+    """A persistent notebook session bound to one logical kernel."""
+
+    session_id: str
+    user_id: str
+    kernel_id: str
+    gpus_required: int = 1
+    created_at: float = 0.0
+    state: SessionState = SessionState.PENDING
+    started_at: Optional[float] = None
+    terminated_at: Optional[float] = None
+    executions: List[CellExecution] = field(default_factory=list)
+    idle_reclamations: int = 0
+
+    def activate(self, now: float) -> None:
+        self.state = SessionState.ACTIVE
+        self.started_at = now
+
+    def terminate(self, now: float) -> None:
+        self.state = SessionState.TERMINATED
+        self.terminated_at = now
+
+    def reclaim_idle(self, now: float) -> None:
+        """Mark the session as idle-reclaimed (kernel culled by the provider)."""
+        self.state = SessionState.IDLE_RECLAIMED
+        self.idle_reclamations += 1
+
+    def resume(self, now: float) -> None:
+        """Resume a previously reclaimed session."""
+        self.state = SessionState.ACTIVE
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == SessionState.ACTIVE
+
+    def record_execution(self, execution: CellExecution) -> None:
+        self.executions.append(execution)
+
+    @property
+    def completed_executions(self) -> List[CellExecution]:
+        return [e for e in self.executions if e.completed_at is not None]
+
+    def lifetime(self, now: float) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.terminated_at if self.terminated_at is not None else now
+        return max(0.0, end - self.started_at)
+
+    def gpu_active_time(self) -> float:
+        """Total time this session's cells were actively executing on GPUs."""
+        total = 0.0
+        for execution in self.completed_executions:
+            if execution.cell.is_gpu_cell and execution.started_at is not None:
+                total += (execution.completed_at or execution.started_at) - execution.started_at
+        return total
+
+    def gpu_duty_cycle(self, now: float) -> float:
+        """Fraction of the session lifetime spent actively using GPUs."""
+        lifetime = self.lifetime(now)
+        if lifetime <= 0:
+            return 0.0
+        return min(1.0, self.gpu_active_time() / lifetime)
+
+    def last_activity_time(self, now: float) -> float:
+        """Time of the most recent submission or completion (for idle culling)."""
+        latest = self.started_at or 0.0
+        for execution in self.executions:
+            latest = max(latest, execution.submitted_at)
+            if execution.completed_at is not None:
+                latest = max(latest, execution.completed_at)
+        return latest

@@ -1,0 +1,40 @@
+"""Metrics: everything the paper's evaluation section measures.
+
+* :mod:`repro.metrics.collector` — per-task records (interactivity delay,
+  task completion time, per-step latency breakdown), cluster timelines
+  (provisioned / committed GPUs, subscription ratio, active sessions and
+  trainings), and platform events (kernel creations, migrations, scale-outs);
+* :mod:`repro.metrics.cost` — the billing model of §5.5.1 (provider cost,
+  revenue, profit margin) and the GPU-hours-saved accounting of Figures 8
+  and 13;
+* :mod:`repro.metrics.latency_breakdown` — the per-step latency breakdown of
+  Figures 15–19.
+"""
+
+from repro.metrics.collector import (
+    EventKind,
+    ExperimentResult,
+    MetricsCollector,
+    PlatformEvent,
+    TaskMetrics,
+)
+from repro.metrics.cost import BillingModel, CostReport, GpuHoursSavedReport
+from repro.metrics.latency_breakdown import (
+    REQUEST_STEPS,
+    LatencyBreakdown,
+    StepLatencies,
+)
+
+__all__ = [
+    "BillingModel",
+    "CostReport",
+    "EventKind",
+    "ExperimentResult",
+    "GpuHoursSavedReport",
+    "LatencyBreakdown",
+    "MetricsCollector",
+    "PlatformEvent",
+    "REQUEST_STEPS",
+    "StepLatencies",
+    "TaskMetrics",
+]

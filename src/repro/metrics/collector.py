@@ -1,0 +1,230 @@
+"""The metrics collector and experiment result container.
+
+Every policy run populates one :class:`MetricsCollector`:
+
+* per-task records with interactivity delay, task completion time, and the
+  per-step latency breakdown;
+* cluster timelines (provisioned GPUs, GPUs committed to training, active
+  sessions, active trainings, cluster-wide subscription ratio) sampled on a
+  configurable interval;
+* discrete platform events (kernel creations, migrations, scale-outs,
+  scale-ins, failed elections);
+* data-store and Raft synchronization latencies (Figure 11).
+
+:class:`ExperimentResult` wraps a finished collector together with the policy
+name and exposes the derived metrics the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.cdf import CDF
+from repro.analysis.timeline import Timeline
+from repro.metrics.latency_breakdown import LatencyBreakdown, StepLatencies
+
+
+class EventKind(enum.Enum):
+    """Discrete platform events plotted in Figure 10."""
+
+    KERNEL_CREATED = "kernel_created"
+    KERNEL_TERMINATED = "kernel_terminated"
+    KERNEL_MIGRATION = "kernel_migration"
+    ELECTION_FAILED = "election_failed"
+    SCALE_OUT = "scale_out"
+    SCALE_IN = "scale_in"
+    SESSION_STARTED = "session_started"
+    SESSION_TERMINATED = "session_terminated"
+    IDLE_RECLAMATION = "idle_reclamation"
+    REPLICA_FAILURE = "replica_failure"
+
+
+@dataclass
+class PlatformEvent:
+    """One discrete platform event."""
+
+    time: float
+    kind: EventKind
+    detail: str = ""
+
+
+@dataclass
+class TaskMetrics:
+    """Per-task measurements."""
+
+    session_id: str
+    kernel_id: str
+    submitted_at: float
+    gpus: int
+    is_gpu_task: bool = True
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    status: str = "pending"
+    executor_replica: Optional[str] = None
+    required_migration: bool = False
+    steps: StepLatencies = field(default_factory=StepLatencies)
+
+    @property
+    def interactivity_delay(self) -> Optional[float]:
+        """Submission -> start of user-code execution (Figure 9(a))."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def task_completion_time(self) -> Optional[float]:
+        """Submission -> completion (Figure 9(b))."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class MetricsCollector:
+    """Accumulates every measurement from one experiment run."""
+
+    def __init__(self, sample_interval: float = 60.0) -> None:
+        self.sample_interval = sample_interval
+        self.tasks: List[TaskMetrics] = []
+        self.events: List[PlatformEvent] = []
+        self.provisioned_gpus = Timeline("provisioned_gpus")
+        self.committed_gpus = Timeline("committed_gpus")
+        self.active_sessions = Timeline("active_sessions")
+        self.active_trainings = Timeline("active_trainings")
+        self.subscription_ratio = Timeline("subscription_ratio")
+        self.provisioned_hosts = Timeline("provisioned_hosts")
+        self.datastore_read_latencies: List[float] = []
+        self.datastore_write_latencies: List[float] = []
+        self.raft_sync_latencies: List[float] = []
+        self.gpu_bind_count = 0
+        self.immediate_gpu_commit_count = 0
+        self.same_executor_count = 0
+        self.executor_decisions = 0
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def new_task(self, session_id: str, kernel_id: str, submitted_at: float,
+                 gpus: int, is_gpu_task: bool = True) -> TaskMetrics:
+        task = TaskMetrics(session_id=session_id, kernel_id=kernel_id,
+                           submitted_at=submitted_at, gpus=gpus,
+                           is_gpu_task=is_gpu_task)
+        self.tasks.append(task)
+        return task
+
+    def record_event(self, time: float, kind: EventKind, detail: str = "") -> None:
+        self.events.append(PlatformEvent(time=time, kind=kind, detail=detail))
+
+    def sample_cluster(self, time: float, provisioned_gpus: int, committed_gpus: int,
+                       active_sessions: int, active_trainings: int,
+                       subscription_ratio: float, provisioned_hosts: int) -> None:
+        """Record one sample of every cluster timeline."""
+        self.provisioned_gpus.record(time, provisioned_gpus)
+        self.committed_gpus.record(time, committed_gpus)
+        self.active_sessions.record(time, active_sessions)
+        self.active_trainings.record(time, active_trainings)
+        self.subscription_ratio.record(time, subscription_ratio)
+        self.provisioned_hosts.record(time, provisioned_hosts)
+
+    def record_executor_decision(self, immediate_commit: bool, same_executor: bool) -> None:
+        """Track the §5.3.2 statistics (89.6 % immediate commits, 89.45 % reuse)."""
+        self.executor_decisions += 1
+        if immediate_commit:
+            self.immediate_gpu_commit_count += 1
+        if same_executor:
+            self.same_executor_count += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics.
+    # ------------------------------------------------------------------
+    def completed_tasks(self) -> List[TaskMetrics]:
+        return [t for t in self.tasks if t.completed_at is not None]
+
+    def interactivity_cdf(self) -> CDF:
+        return CDF.from_values(t.interactivity_delay for t in self.tasks
+                               if t.interactivity_delay is not None)
+
+    def tct_cdf(self) -> CDF:
+        return CDF.from_values(t.task_completion_time for t in self.completed_tasks())
+
+    def events_of_kind(self, kind: EventKind) -> List[PlatformEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def provisioned_gpu_hours(self) -> float:
+        return self.provisioned_gpus.integral() / 3600.0
+
+    def committed_gpu_hours(self) -> float:
+        return self.committed_gpus.integral() / 3600.0
+
+    def immediate_commit_fraction(self) -> float:
+        if self.executor_decisions == 0:
+            return 0.0
+        return self.immediate_gpu_commit_count / self.executor_decisions
+
+    def same_executor_fraction(self) -> float:
+        if self.executor_decisions == 0:
+            return 0.0
+        return self.same_executor_count / self.executor_decisions
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of running one trace under one scheduling policy."""
+
+    policy: str
+    trace_name: str
+    collector: MetricsCollector
+    wall_clock_runtime: float = 0.0
+    breakdown: Optional[LatencyBreakdown] = None
+
+    # -- convenience accessors ------------------------------------------------
+    @property
+    def interactivity_cdf(self) -> CDF:
+        return self.collector.interactivity_cdf()
+
+    @property
+    def tct_cdf(self) -> CDF:
+        return self.collector.tct_cdf()
+
+    @property
+    def provisioned_gpu_hours(self) -> float:
+        return self.collector.provisioned_gpu_hours()
+
+    def gpu_hours_saved_vs(self, other: "ExperimentResult") -> float:
+        """GPU-hours saved relative to another policy (Figure 8 green area)."""
+        return other.provisioned_gpu_hours - self.provisioned_gpu_hours
+
+    def migration_count(self) -> int:
+        return len(self.collector.events_of_kind(EventKind.KERNEL_MIGRATION))
+
+    def scale_out_count(self) -> int:
+        return len(self.collector.events_of_kind(EventKind.SCALE_OUT))
+
+    def summary(self) -> Dict[str, object]:
+        """The headline row the benchmarks print for this policy."""
+        interactivity = self.interactivity_cdf
+        tct = self.tct_cdf
+        return {
+            "policy": self.policy,
+            "trace": self.trace_name,
+            "tasks_completed": len(self.collector.completed_tasks()),
+            "interactivity_p50_s": interactivity.percentile(0.5) if not interactivity.is_empty else None,
+            "interactivity_p95_s": interactivity.percentile(0.95) if not interactivity.is_empty else None,
+            "tct_p50_s": tct.percentile(0.5) if not tct.is_empty else None,
+            "tct_p95_s": tct.percentile(0.95) if not tct.is_empty else None,
+            "provisioned_gpu_hours": round(self.provisioned_gpu_hours, 2),
+            "max_provisioned_gpus": self.collector.provisioned_gpus.maximum(),
+            "migrations": self.migration_count(),
+            "scale_outs": self.scale_out_count(),
+            "immediate_gpu_commit_fraction": round(
+                self.collector.immediate_commit_fraction(), 4),
+            "same_executor_fraction": round(
+                self.collector.same_executor_fraction(), 4),
+        }

@@ -1,0 +1,186 @@
+"""The billing / cost model of §5.5.1 and the GPU-hours-saved accounting.
+
+The paper's billing model:
+
+* the provider pays the AWS EC2 VM cost for every provisioned GPU server;
+* users pay **1.15×** the provider's rate, proportional to resource usage
+  (e.g. a training task using 4 of a server's 8 GPUs is billed at
+  ``rate × 1.15 × 0.5``);
+* standby Distributed Kernel replicas are billed **12.5 %** of the base rate;
+* the Reservation baseline bills reserved GPUs at the same 1.15× multiplier
+  for the entire session lifetime.
+
+Figure 12 (provider cost, revenue, profit margin) and Figure 13 (GPU-hours
+saved by avoiding re-execution after idle reclamations) are derived from this
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.timeline import Timeline
+from repro.workload.trace import Trace
+
+
+@dataclass
+class CostReport:
+    """Provider cost, revenue, and profit margin for one policy run."""
+
+    policy: str
+    provider_cost_usd: float
+    revenue_usd: float
+
+    @property
+    def profit_usd(self) -> float:
+        return self.revenue_usd - self.provider_cost_usd
+
+    @property
+    def profit_margin(self) -> float:
+        """Profit as a fraction of revenue (Figure 12(b))."""
+        if self.revenue_usd <= 0:
+            return 0.0
+        return self.profit_usd / self.revenue_usd
+
+    def cost_reduction_vs(self, other: "CostReport") -> float:
+        """Provider-side cost reduction relative to ``other`` (paper: up to 69.87 %)."""
+        if other.provider_cost_usd <= 0:
+            return 0.0
+        return 1.0 - (self.provider_cost_usd / other.provider_cost_usd)
+
+
+@dataclass
+class BillingModel:
+    """Implements the §5.5.1 billing rules."""
+
+    host_hourly_rate_usd: float = 24.48
+    gpus_per_host: int = 8
+    user_multiplier: float = 1.15
+    standby_replica_fraction: float = 0.125
+    replication_factor: int = 3
+
+    # ------------------------------------------------------------------
+    # Provider cost.
+    # ------------------------------------------------------------------
+    def provider_cost(self, provisioned_gpus: Timeline) -> float:
+        """Provider cost of the provisioned-GPU timeline, in USD."""
+        gpu_hours = provisioned_gpus.integral() / 3600.0
+        host_hours = gpu_hours / self.gpus_per_host
+        return host_hours * self.host_hourly_rate_usd
+
+    # ------------------------------------------------------------------
+    # Revenue.
+    # ------------------------------------------------------------------
+    def _hourly_rate_per_gpu(self) -> float:
+        return self.host_hourly_rate_usd / self.gpus_per_host
+
+    def reservation_revenue(self, trace: Trace) -> float:
+        """Revenue under Reservation: reserved GPUs billed for the whole session."""
+        revenue = 0.0
+        for session in trace:
+            gpu_hours = session.gpus_requested * session.lifetime / 3600.0
+            revenue += gpu_hours * self._hourly_rate_per_gpu() * self.user_multiplier
+        return revenue
+
+    def notebookos_revenue(self, trace: Trace) -> float:
+        """Revenue under NotebookOS: standby replicas + per-training GPU usage."""
+        standby_rate_per_hour = (self.host_hourly_rate_usd * self.user_multiplier
+                                 * self.standby_replica_fraction)
+        revenue = 0.0
+        for session in trace:
+            session_hours = session.lifetime / 3600.0
+            # The paper bills each standby replica 12.5% of the base host rate.
+            standby_replicas = max(0, self.replication_factor - 1)
+            revenue += standby_replicas * standby_rate_per_hour * session_hours
+            for task in session.tasks:
+                if not task.is_gpu_task:
+                    continue
+                usage_fraction = min(1.0, task.gpus / self.gpus_per_host)
+                task_hours = task.duration / 3600.0
+                revenue += (self.host_hourly_rate_usd * self.user_multiplier
+                            * usage_fraction * task_hours)
+        return revenue
+
+    # ------------------------------------------------------------------
+    # Full reports.
+    # ------------------------------------------------------------------
+    def report(self, policy: str, trace: Trace, provisioned_gpus: Timeline) -> CostReport:
+        cost = self.provider_cost(provisioned_gpus)
+        if policy.lower().startswith("reservation"):
+            revenue = self.reservation_revenue(trace)
+        else:
+            revenue = self.notebookos_revenue(trace)
+        return CostReport(policy=policy, provider_cost_usd=cost, revenue_usd=revenue)
+
+
+@dataclass
+class GpuHoursSavedReport:
+    """Figure 13: GPU-hours saved by avoiding re-execution after reclamation.
+
+    Without NotebookOS's state replication, reclaiming an idle session loses
+    its in-memory state; when the user returns, previously executed cells
+    must be re-run, consuming extra GPU-hours.  For a given idle-reclamation
+    interval, every gap between consecutive submissions longer than the
+    interval triggers one reclamation whose cost is the re-execution of the
+    session's prior GPU work.
+    """
+
+    reclamation_interval_s: float
+    gpu_hours_saved: float
+    reclamations: int
+
+
+def gpu_hours_saved_by_state_persistence(
+        trace: Trace, reclamation_intervals_minutes: Sequence[float] = (15, 30, 60, 90, 120),
+        reexecution_fraction: float = 1.0) -> List[GpuHoursSavedReport]:
+    """Compute Figure 13 for each idle-reclamation interval.
+
+    ``reexecution_fraction`` controls how much of the prior GPU work must be
+    re-run after a reclamation (1.0 = full re-execution of all prior cells).
+    """
+    reports: List[GpuHoursSavedReport] = []
+    for minutes in reclamation_intervals_minutes:
+        interval = minutes * 60.0
+        total_saved_gpu_seconds = 0.0
+        reclamations = 0
+        for session in trace:
+            tasks = sorted(session.tasks, key=lambda t: t.submit_time)
+            prior_gpu_seconds = 0.0
+            previous_end = session.start_time
+            for task in tasks:
+                idle_gap = task.submit_time - previous_end
+                if idle_gap > interval and prior_gpu_seconds > 0:
+                    reclamations += 1
+                    total_saved_gpu_seconds += prior_gpu_seconds * reexecution_fraction
+                prior_gpu_seconds += task.gpu_seconds
+                previous_end = max(previous_end, task.end_time)
+        reports.append(GpuHoursSavedReport(
+            reclamation_interval_s=interval,
+            gpu_hours_saved=total_saved_gpu_seconds / 3600.0,
+            reclamations=reclamations))
+    return reports
+
+
+def cost_timeline(billing: BillingModel, trace: Trace, provisioned_gpus: Timeline,
+                  policy: str, num_points: int = 30) -> Dict[str, List[float]]:
+    """Cumulative provider cost / revenue series over time (Figure 12(a))."""
+    horizon = trace.duration
+    if horizon <= 0:
+        return {"time_days": [], "provider_cost": [], "revenue": []}
+    times = [horizon * i / num_points for i in range(1, num_points + 1)]
+    cost_series: List[float] = []
+    revenue_series: List[float] = []
+    for time in times:
+        clipped_timeline = Timeline("clipped")
+        for t, v in provisioned_gpus.points:
+            if t <= time:
+                clipped_timeline.record(t, v)
+        clipped_timeline.record(time, clipped_timeline.value_at(time))
+        clipped_trace = trace.truncated(time)
+        report = billing.report(policy, clipped_trace, clipped_timeline)
+        cost_series.append(report.provider_cost_usd)
+        revenue_series.append(report.revenue_usd)
+    return {"time_days": [t / 86400.0 for t in times],
+            "provider_cost": cost_series,
+            "revenue": revenue_series}

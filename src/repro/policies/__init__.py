@@ -1,0 +1,54 @@
+"""Scheduling policies: NotebookOS and the evaluation baselines (§5.1.1).
+
+The paper implements its baselines *inside* NotebookOS; this package mirrors
+that structure.  One platform (:class:`repro.core.platform.NotebookOSPlatform`)
+hosts any of these policy objects, which change how sessions are provisioned,
+how cell executions acquire GPUs, and what "provisioned GPUs" means:
+
+* :class:`NotebookOSPolicy` — the full system: replicated kernels, executor
+  elections, dynamic GPU binding, oversubscription, migration, auto-scaling;
+* :class:`ReservationPolicy` — today's NaaS behaviour: one long-running
+  container per session with exclusively reserved GPUs;
+* :class:`BatchPolicy` — an FCFS batch GPU scheduler: a fresh container per
+  submission, GPUs allocated on demand, data staged in and out every time;
+* :class:`LargeContainerPoolPolicy` — NotebookOS (LCP): a large shared pool
+  of pre-warmed containers traded against interactivity;
+* :mod:`repro.policies.oracle` — the oracle curve (exact GPUs required).
+"""
+
+from repro.policies.base import SchedulingPolicy
+from repro.policies.notebookos import NotebookOSPolicy
+from repro.policies.reservation import ReservationPolicy
+from repro.policies.batch import BatchPolicy
+from repro.policies.lcp import LargeContainerPoolPolicy
+from repro.policies.oracle import oracle_gpu_timeline
+
+POLICY_REGISTRY = {
+    "notebookos": NotebookOSPolicy,
+    "reservation": ReservationPolicy,
+    "batch": BatchPolicy,
+    "lcp": LargeContainerPoolPolicy,
+    "notebookos-lcp": LargeContainerPoolPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Instantiate a policy by its registry name."""
+    try:
+        policy_cls = POLICY_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from "
+                         f"{sorted(POLICY_REGISTRY)}") from None
+    return policy_cls(**kwargs)
+
+
+__all__ = [
+    "BatchPolicy",
+    "LargeContainerPoolPolicy",
+    "NotebookOSPolicy",
+    "POLICY_REGISTRY",
+    "ReservationPolicy",
+    "SchedulingPolicy",
+    "make_policy",
+    "oracle_gpu_timeline",
+]

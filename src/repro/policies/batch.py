@@ -1,0 +1,120 @@
+"""The Batch (FCFS GPU cluster scheduler) baseline (§5.1.1).
+
+Batch represents batch GPU cluster schedulers (Gandiva, Tiresias, Themis, …)
+attached to a notebook front end: every code submission becomes a job that
+waits in an FCFS queue for GPUs, gets a freshly provisioned container, stages
+its model and dataset in from remote storage, runs, writes its results back,
+and tears the container down.  Resource usage is excellent; interactivity
+suffers from queueing and cold starts (Figure 9(a) / Figure 17).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.host import Host
+from repro.cluster.resources import ResourceRequest
+from repro.metrics.collector import TaskMetrics
+from repro.policies.base import SchedulingPolicy
+from repro.workload.trace import SessionTrace, TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.platform import NotebookOSPlatform
+
+
+class BatchPolicy(SchedulingPolicy):
+    """First-come, first-served on-demand containers and GPU allocation."""
+
+    name = "batch"
+    uses_autoscaler = False
+    replication_factor = 1
+
+    def __init__(self, queue_poll_interval_s: float = 5.0) -> None:
+        self.queue_poll_interval_s = queue_poll_interval_s
+        self._queue: deque[int] = deque()
+        self._ticket_counter = count(1)
+
+    # ------------------------------------------------------------------
+    # FCFS admission.
+    # ------------------------------------------------------------------
+    def _find_host(self, platform: "NotebookOSPlatform", gpus: int) -> Optional[Host]:
+        candidates = [h for h in platform.cluster.active_hosts if h.idle_gpus >= gpus]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda h: (h.idle_gpus, h.host_id))
+
+    def _acquire_host(self, platform: "NotebookOSPlatform", gpus: int):
+        """Simulation process: FCFS-wait until some host has ``gpus`` idle GPUs."""
+        ticket = next(self._ticket_counter)
+        self._queue.append(ticket)
+        try:
+            while True:
+                if self._queue[0] == ticket:
+                    host = self._find_host(platform, gpus)
+                    if host is not None:
+                        return host
+                yield platform.env.timeout(self.queue_poll_interval_s)
+        finally:
+            self._queue.remove(ticket)
+
+    # ------------------------------------------------------------------
+    # Cell execution.
+    # ------------------------------------------------------------------
+    def execute_task(self, platform: "NotebookOSPlatform", session: SessionTrace,
+                     task: TaskRecord, metrics: TaskMetrics):
+        env = platform.env
+        steps = metrics.steps
+        job_id = f"{session.session_id}-job-{task.task_index}"
+        metrics.kernel_id = job_id
+        gpus = min(task.gpus, platform.cluster_config.host_spec.num_gpus) \
+            if task.is_gpu_task else 0
+
+        # Step (1): queueing for GPUs plus on-demand container provisioning
+        # both happen before the request ever reaches a kernel (Figure 17).
+        queue_start = env.now
+        host = yield env.process(self._acquire_host(platform, max(gpus, 1) if gpus else 0))
+        scheduler = platform.cluster.scheduler_for(host.host_id)
+        if gpus:
+            host.bind_gpus(job_id, gpus, env.now)
+        container = yield env.process(
+            scheduler.runtime.provision(ResourceRequest(gpus=gpus), prewarmed=False))
+        container.assign(job_id, job_id)
+        host.register_container(container.container_id, container)
+        provisioning_delay = env.now - queue_start
+
+        yield env.process(self.request_ingress(platform, steps,
+                                               gs_extra=provisioning_delay))
+
+        # Mandatory pre-processing data I/O: stage the model and dataset.
+        stage_time = yield env.process(self.stage_model_and_dataset(
+            platform, session, owner=job_id, node_id=job_id))
+        steps.record("intermediary_interval", stage_time)
+
+        metrics.started_at = env.now
+        metrics.executor_replica = job_id
+        steps.record("execute_code", task.duration)
+        yield env.timeout(task.duration)
+
+        # Mandatory post-processing data I/O: persist the updated model.
+        persist_time = yield env.process(self.persist_model(
+            platform, session, owner=job_id, node_id=job_id))
+        steps.record("kernel_postprocess", persist_time)
+
+        if gpus and job_id in host.gpus.owners():
+            host.release_gpus(job_id, env.now)
+        host.unregister_container(container.container_id)
+        yield env.process(self.reply_egress(platform, steps))
+        metrics.completed_at = env.now
+        metrics.status = "ok"
+
+        # Container teardown happens after the reply (not on the critical path).
+        platform.spawn_background(scheduler.runtime.terminate(container))
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Metrics: only GPUs actively serving jobs count as provisioned.
+    # ------------------------------------------------------------------
+    def provisioned_gpus(self, platform: "NotebookOSPlatform") -> float:
+        return float(platform.cluster.committed_training_gpus())

@@ -1,0 +1,34 @@
+"""The oracle GPU-provisioning curve (Figure 8).
+
+The "oracle" in the paper's Figure 8 is an optimal policy that provisions
+exactly the number of GPUs required to serve the training requests that are
+active at each instant.  It needs no simulation: the curve is a pure function
+of the trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import Timeline
+from repro.workload.trace import Trace
+
+
+def oracle_gpu_timeline(trace: Trace, sample_interval: float = 60.0) -> Timeline:
+    """The exact GPUs required to serve active trainings at each instant."""
+    if sample_interval <= 0:
+        raise ValueError("sample_interval must be positive")
+    timeline = Timeline("oracle_gpus")
+    horizon = trace.duration
+    # Event-based sweep: GPU demand only changes at task start/end times, so
+    # sampling those instants (plus a regular grid for plotting) is exact.
+    change_points = {0.0, horizon}
+    for task in trace.all_tasks:
+        if task.is_gpu_task:
+            change_points.add(task.submit_time)
+            change_points.add(min(task.end_time, horizon))
+    time = 0.0
+    while time < horizon:
+        change_points.add(time)
+        time += sample_interval
+    for time in sorted(change_points):
+        timeline.record(time, trace.required_gpus_at(time))
+    return timeline

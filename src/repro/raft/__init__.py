@@ -1,0 +1,42 @@
+"""A from-scratch Raft consensus implementation on the simulated network.
+
+NotebookOS synchronizes small kernel state and runs its executor election
+protocol over a Raft log shared by the three replicas of each distributed
+kernel.  This package provides that substrate:
+
+* :mod:`repro.raft.log` — the replicated log and its entries,
+* :mod:`repro.raft.messages` — AppendEntries / RequestVote RPC payloads,
+* :mod:`repro.raft.state_machine` — the state-machine interface applied
+  entries are delivered to,
+* :mod:`repro.raft.node` — the Raft node itself (follower / candidate /
+  leader roles, election timers, log replication, commitment),
+* :mod:`repro.raft.cluster` — a helper that wires N nodes together over the
+  simulated network and supports single-server membership changes (used by
+  kernel replica migration).
+"""
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.messages import (
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+    RequestVoteResponse,
+)
+from repro.raft.node import RaftConfig, RaftNode, Role
+from repro.raft.state_machine import KeyValueStateMachine, StateMachine
+from repro.raft.cluster import RaftCluster
+
+__all__ = [
+    "AppendEntriesRequest",
+    "AppendEntriesResponse",
+    "KeyValueStateMachine",
+    "LogEntry",
+    "RaftCluster",
+    "RaftConfig",
+    "RaftLog",
+    "RaftNode",
+    "RequestVoteRequest",
+    "RequestVoteResponse",
+    "Role",
+    "StateMachine",
+]

@@ -1,0 +1,153 @@
+"""Helper for wiring a group of Raft nodes together.
+
+A :class:`RaftCluster` owns the N :class:`~repro.raft.node.RaftNode`\\ s of one
+replication group (in NotebookOS, the three replicas of one distributed
+kernel).  It provides convenience operations used by the control plane:
+waiting for a leader, proposing through any member, and single-server
+membership changes (remove a terminated replica, add a migrated one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.simulation.engine import Environment
+from repro.simulation.events import Event
+from repro.simulation.network import Network, NetworkAddress
+from repro.simulation.distributions import SeededRandom
+from repro.raft.node import RaftConfig, RaftNode
+from repro.raft.state_machine import StateMachine
+
+
+class RaftCluster:
+    """A managed group of Raft nodes sharing one log."""
+
+    def __init__(self, env: Environment, network: Network,
+                 member_ids: List[NetworkAddress],
+                 state_machine_factory: Callable[[NetworkAddress], StateMachine],
+                 config: Optional[RaftConfig] = None,
+                 rng: Optional[SeededRandom] = None) -> None:
+        if len(member_ids) < 1:
+            raise ValueError("a Raft cluster needs at least one member")
+        self.env = env
+        self.network = network
+        self.config = config or RaftConfig()
+        self._rng = rng or SeededRandom(0)
+        self._state_machine_factory = state_machine_factory
+        self.nodes: Dict[NetworkAddress, RaftNode] = {}
+        for member_id in member_ids:
+            self._create_node(member_id, member_ids)
+
+    # ------------------------------------------------------------------
+    # Construction / lifecycle.
+    # ------------------------------------------------------------------
+    def _create_node(self, node_id: NetworkAddress,
+                     member_ids: List[NetworkAddress]) -> RaftNode:
+        node = RaftNode(env=self.env, network=self.network, node_id=node_id,
+                        peers=list(member_ids),
+                        state_machine=self._state_machine_factory(node_id),
+                        config=self.config,
+                        rng=self._rng.substream(f"raft:{node_id}"))
+        self.nodes[node_id] = node
+        return node
+
+    def start(self) -> None:
+        """Start every member node."""
+        for node in self.nodes.values():
+            node.start()
+
+    def stop(self) -> None:
+        """Stop every member node."""
+        for node in self.nodes.values():
+            node.stop()
+
+    @property
+    def member_ids(self) -> List[NetworkAddress]:
+        return list(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Leadership.
+    # ------------------------------------------------------------------
+    def leader(self) -> Optional[RaftNode]:
+        """The current leader node, if one exists."""
+        for node in self.nodes.values():
+            if node.is_leader and node.running:
+                return node
+        return None
+
+    def wait_for_leader(self, poll_interval: float = 0.02,
+                        timeout: Optional[float] = None):
+        """Simulation process: wait until some member believes it is leader."""
+        deadline = None if timeout is None else self.env.now + timeout
+        while True:
+            leader = self.leader()
+            if leader is not None:
+                return leader
+            if deadline is not None and self.env.now >= deadline:
+                raise TimeoutError("no Raft leader elected before the deadline")
+            yield self.env.timeout(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Proposals.
+    # ------------------------------------------------------------------
+    def propose(self, command, via: Optional[NetworkAddress] = None) -> Event:
+        """Propose ``command`` through ``via`` (or the leader / any member)."""
+        if via is not None:
+            return self.nodes[via].propose(command)
+        leader = self.leader()
+        node = leader or next(iter(self.nodes.values()))
+        return node.propose(command)
+
+    # ------------------------------------------------------------------
+    # Membership changes (single-server at a time).
+    # ------------------------------------------------------------------
+    def remove_member(self, node_id: NetworkAddress) -> None:
+        """Remove (and stop) a member, e.g. a terminated kernel replica."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            return
+        node.stop()
+        remaining = list(self.nodes)
+        for member in self.nodes.values():
+            member.set_peers(remaining)
+
+    def add_member(self, node_id: NetworkAddress) -> RaftNode:
+        """Add a new member (e.g. a freshly migrated kernel replica).
+
+        The new node starts as a follower with an empty log; the current
+        leader brings it up to date through AppendEntries / InstallSnapshot.
+        """
+        if node_id in self.nodes:
+            return self.nodes[node_id]
+        member_ids = list(self.nodes) + [node_id]
+        node = self._create_node(node_id, member_ids)
+        for existing_id, existing in self.nodes.items():
+            if existing_id != node_id:
+                existing.set_peers(member_ids)
+        node.start()
+        return node
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests.
+    # ------------------------------------------------------------------
+    def committed_commands(self, node_id: Optional[NetworkAddress] = None) -> List:
+        """Commands applied by ``node_id`` (default: any node), in order."""
+        node = self.nodes[node_id] if node_id else next(iter(self.nodes.values()))
+        machine = node.state_machine
+        return list(getattr(machine, "applied_commands", []))
+
+    def logs_consistent(self) -> bool:
+        """Whether all running members agree on the committed log prefix."""
+        running = [n for n in self.nodes.values() if n.running]
+        if len(running) <= 1:
+            return True
+        min_commit = min(node.commit_index for node in running)
+        for index in range(1, min_commit + 1):
+            terms = set()
+            for node in running:
+                term = node.log.term_at(index)
+                if term is not None:
+                    terms.add(term)
+            if len(terms) > 1:
+                return False
+        return True

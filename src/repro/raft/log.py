@@ -1,0 +1,137 @@
+"""The replicated Raft log.
+
+Log indices are 1-based, as in the Raft paper.  Entry 0 is a sentinel with
+term 0.  The log supports truncation-on-conflict (AppendEntries consistency
+check) and compaction up to a snapshot index, which the NotebookOS kernel
+replicas use when a migrated replica joins with a state snapshot read from
+the distributed data store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A single entry in the replicated log."""
+
+    term: int
+    command: Any
+    index: int = 0
+
+    def with_index(self, index: int) -> "LogEntry":
+        return LogEntry(term=self.term, command=self.command, index=index)
+
+
+@dataclass
+class RaftLog:
+    """An in-memory Raft log with optional compaction."""
+
+    entries: List[LogEntry] = field(default_factory=list)
+    snapshot_index: int = 0
+    snapshot_term: int = 0
+
+    # ------------------------------------------------------------------
+    # Basic queries.
+    # ------------------------------------------------------------------
+    @property
+    def last_index(self) -> int:
+        """Index of the last entry (0 if the log is empty)."""
+        if self.entries:
+            return self.entries[-1].index
+        return self.snapshot_index
+
+    @property
+    def last_term(self) -> int:
+        """Term of the last entry (0 if the log is empty)."""
+        if self.entries:
+            return self.entries[-1].term
+        return self.snapshot_term
+
+    def __len__(self) -> int:
+        return self.last_index
+
+    def term_at(self, index: int) -> Optional[int]:
+        """Term of the entry at ``index``; ``None`` if unknown."""
+        if index == 0:
+            return 0
+        if index == self.snapshot_index:
+            return self.snapshot_term
+        entry = self.entry_at(index)
+        return entry.term if entry is not None else None
+
+    def entry_at(self, index: int) -> Optional[LogEntry]:
+        """The entry stored at ``index``, or ``None`` if absent/compacted."""
+        offset = index - self.snapshot_index - 1
+        if 0 <= offset < len(self.entries):
+            return self.entries[offset]
+        return None
+
+    def entries_from(self, index: int) -> List[LogEntry]:
+        """All entries with index >= ``index``."""
+        offset = max(0, index - self.snapshot_index - 1)
+        return list(self.entries[offset:])
+
+    def has_entry(self, index: int, term: int) -> bool:
+        """Consistency check used by AppendEntries (prev_log_index/term)."""
+        if index == 0:
+            return True
+        if index <= self.snapshot_index:
+            return index == self.snapshot_index and term == self.snapshot_term
+        stored = self.term_at(index)
+        return stored == term
+
+    # ------------------------------------------------------------------
+    # Mutation.
+    # ------------------------------------------------------------------
+    def append(self, term: int, command: Any) -> LogEntry:
+        """Append a new entry as leader; returns the stored entry."""
+        entry = LogEntry(term=term, command=command, index=self.last_index + 1)
+        self.entries.append(entry)
+        return entry
+
+    def append_entries(self, prev_index: int, entries: List[LogEntry]) -> None:
+        """Append follower-side entries after ``prev_index``.
+
+        Conflicting suffixes (same index, different term) are truncated, per
+        the Raft paper's AppendEntries receiver rules.
+        """
+        for entry in entries:
+            existing = self.entry_at(entry.index)
+            if existing is not None and existing.term != entry.term:
+                self.truncate_from(entry.index)
+                existing = None
+            if existing is None and entry.index == self.last_index + 1:
+                self.entries.append(entry)
+
+    def truncate_from(self, index: int) -> None:
+        """Discard every entry with index >= ``index``."""
+        offset = index - self.snapshot_index - 1
+        if offset < 0:
+            offset = 0
+        del self.entries[offset:]
+
+    def compact(self, through_index: int) -> int:
+        """Discard entries up to and including ``through_index``.
+
+        Returns the number of entries removed.  Used after state snapshots.
+        """
+        if through_index <= self.snapshot_index:
+            return 0
+        through_index = min(through_index, self.last_index)
+        term = self.term_at(through_index) or self.snapshot_term
+        removed = 0
+        while self.entries and self.entries[0].index <= through_index:
+            self.entries.pop(0)
+            removed += 1
+        self.snapshot_index = through_index
+        self.snapshot_term = term
+        return removed
+
+    def install_snapshot(self, index: int, term: int) -> None:
+        """Reset the log to an externally provided snapshot point."""
+        self.entries.clear()
+        self.snapshot_index = index
+        self.snapshot_term = term

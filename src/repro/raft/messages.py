@@ -1,0 +1,77 @@
+"""Raft RPC message payloads.
+
+These dataclasses are carried as the payload of
+:class:`repro.simulation.network.Message` objects between Raft nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.raft.log import LogEntry
+
+
+@dataclass
+class RequestVoteRequest:
+    """Candidate → peer: request a vote for ``term``."""
+
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass
+class RequestVoteResponse:
+    """Peer → candidate: vote result."""
+
+    term: int
+    voter_id: str
+    vote_granted: bool
+
+
+@dataclass
+class AppendEntriesRequest:
+    """Leader → follower: replicate entries / heartbeat."""
+
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: List[LogEntry] = field(default_factory=list)
+    leader_commit: int = 0
+
+    @property
+    def is_heartbeat(self) -> bool:
+        return not self.entries
+
+
+@dataclass
+class AppendEntriesResponse:
+    """Follower → leader: replication result."""
+
+    term: int
+    follower_id: str
+    success: bool
+    match_index: int = 0
+
+
+@dataclass
+class InstallSnapshotRequest:
+    """Leader → lagging follower: replace its log with a snapshot."""
+
+    term: int
+    leader_id: str
+    last_included_index: int
+    last_included_term: int
+    snapshot: object = None
+
+
+@dataclass
+class InstallSnapshotResponse:
+    """Follower → leader: snapshot installation acknowledgement."""
+
+    term: int
+    follower_id: str
+    last_included_index: int

@@ -1,0 +1,81 @@
+"""State-machine interface for applied Raft log entries.
+
+A NotebookOS kernel replica's replicated state (namespace variables, election
+proposals, large-object pointers) is delivered to a :class:`StateMachine`
+once the corresponding log entry has been committed by a majority of the
+replica's Raft group.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+class StateMachine:
+    """Interface that receives committed log entries in order."""
+
+    def apply(self, index: int, command: Any) -> Any:
+        """Apply a committed command; return value is surfaced to proposers."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """Return a serializable snapshot of the state machine."""
+        return None
+
+    def restore(self, snapshot: Any) -> None:
+        """Restore state from a snapshot produced by :meth:`snapshot`."""
+
+
+class KeyValueStateMachine(StateMachine):
+    """A simple dictionary state machine.
+
+    Commands are ``("set", key, value)`` / ``("delete", key)`` tuples.  Used
+    directly by tests and as the base for the kernel namespace replica state.
+    """
+
+    def __init__(self) -> None:
+        self.data: Dict[str, Any] = {}
+        self.applied_commands: List[Any] = []
+
+    def apply(self, index: int, command: Any) -> Any:
+        self.applied_commands.append(command)
+        if not isinstance(command, tuple) or not command:
+            return None
+        op = command[0]
+        if op == "set" and len(command) == 3:
+            _, key, value = command
+            self.data[key] = value
+            return value
+        if op == "delete" and len(command) == 2:
+            return self.data.pop(command[1], None)
+        if op == "noop":
+            return None
+        return None
+
+    def snapshot(self) -> Any:
+        return dict(self.data)
+
+    def restore(self, snapshot: Any) -> None:
+        self.data = dict(snapshot or {})
+        self.applied_commands = []
+
+
+class CallbackStateMachine(StateMachine):
+    """Delegates ``apply`` to a callable; handy for embedding in components."""
+
+    def __init__(self, apply_fn: Callable[[int, Any], Any],
+                 snapshot_fn: Optional[Callable[[], Any]] = None,
+                 restore_fn: Optional[Callable[[Any], None]] = None) -> None:
+        self._apply_fn = apply_fn
+        self._snapshot_fn = snapshot_fn
+        self._restore_fn = restore_fn
+
+    def apply(self, index: int, command: Any) -> Any:
+        return self._apply_fn(index, command)
+
+    def snapshot(self) -> Any:
+        return self._snapshot_fn() if self._snapshot_fn else None
+
+    def restore(self, snapshot: Any) -> None:
+        if self._restore_fn:
+            self._restore_fn(snapshot)

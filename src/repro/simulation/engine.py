@@ -1,0 +1,206 @@
+"""The discrete-event simulation engine.
+
+:class:`Environment` owns the simulation clock and the pending-event heap.
+:class:`Process` wraps a Python generator so that it can participate in the
+simulation: each time the generator ``yield``\\ s an :class:`~repro.simulation.events.Event`
+the process suspends until that event is processed.
+
+The engine is single-threaded and fully deterministic: two runs with the same
+seeds and the same process structure produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+from repro.simulation.events import Event, Interrupt, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process is itself an event: it triggers (with the generator's return
+    value) when the generator finishes, so other processes can ``yield`` it to
+    wait for completion.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            return
+        interrupt_event = Event(self.env)
+        interrupt_event.succeed(Interrupt(cause))
+        interrupt_event.defused = True  # type: ignore[attr-defined]
+        interrupt_event.add_callback(self._resume_with_interrupt)
+
+    def _resume_with_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._step(throw=event.value)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            # A stale wake-up (e.g. the event we were interrupted away from).
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event._exception)  # noqa: SLF001
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        self.env._active_process = self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except Interrupt as interrupt:
+            self._finish(exception=interrupt)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._finish(exception=exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        self._waiting_on = None
+        if self._triggered:
+            return
+        if exception is not None:
+            self.fail(exception)
+        else:
+            self.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Environment:
+    """Owns simulation time and the scheduled-event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event and process creation helpers.
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a timeout event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule ``event`` for processing ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        event._run_callbacks()  # noqa: SLF001 - engine drives event processing
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a time (run
+        until the clock reaches it), or an :class:`Event` (run until it has
+        been processed, returning its value).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise SimulationError(
+                f"cannot run until {limit}: simulation time is already {self._now}")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        if limit != float("inf"):
+            self._now = limit
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        while not until.processed:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event triggered")
+            self.step()
+        return until.value
+
+    def run_all(self, processes: Iterable[Process]) -> list[Any]:
+        """Run until every process in ``processes`` has finished."""
+        results = []
+        for process in processes:
+            results.append(self.run(until=process))
+        return results

@@ -1,0 +1,169 @@
+"""Waitable event primitives for the discrete-event engine.
+
+Events are the unit of coordination in the simulation: a process ``yield``\\ s
+an event and is resumed when that event is *triggered* (either successfully,
+with a value, or with an exception).  The engine (:mod:`repro.simulation.engine`)
+owns the event queue; this module only defines the event objects themselves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.simulation.engine import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` describing why the process was
+    interrupted (for example, a migration request arriving while a kernel
+    replica is idle-waiting).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot waitable event.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules it with the environment; once the scheduler
+    pops it, every registered callback runs and waiting processes resume.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been triggered (scheduled for processing)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event was triggered successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises the failure exception if the event failed.
+        """
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have ``exception`` raised at their
+        ``yield`` statement.
+        """
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env.schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately so late waiters still resume.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` simulation time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionEvent(Event):
+    """Base class for events composed of several child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._completed: dict[Event, Any] = {}
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # noqa: SLF001 - intentional propagation
+            return
+        self._completed[event] = event.value
+        if self._is_satisfied():
+            self.succeed(dict(self._completed))
+
+    def _is_satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* child events have triggered successfully."""
+
+    def _is_satisfied(self) -> bool:
+        return len(self._completed) == len(self.events)
+
+
+class AnyOf(ConditionEvent):
+    """Triggers once *any* child event has triggered successfully."""
+
+    def _is_satisfied(self) -> bool:
+        return len(self._completed) >= 1

@@ -1,0 +1,153 @@
+"""Queueing primitives built on top of the event engine.
+
+These primitives carry messages and model contended resources:
+
+* :class:`Store` — an unbounded FIFO queue of items with waitable ``get``.
+* :class:`PriorityStore` — like :class:`Store`, but items are retrieved in
+  priority order (used e.g. by FCFS-with-priority schedulers).
+* :class:`Resource` — a counting resource with waitable ``request``; used to
+  model bounded pools such as per-host GPU slots or provisioning concurrency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.simulation.engine import Environment
+from repro.simulation.events import Event
+
+
+class Store:
+    """An unbounded FIFO store with waitable retrieval."""
+
+    def __init__(self, env: Environment, name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """A snapshot of the currently queued items."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item`` to the store, waking one waiting getter if any."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next available item."""
+        getter = self.env.event()
+        self._getters.append(getter)
+        self._dispatch()
+        return getter
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered:
+                continue
+            getter.succeed(self._items.pop(0))
+
+
+class PriorityStore(Store):
+    """A store whose items are retrieved in ascending priority order."""
+
+    def __init__(self, env: Environment, name: str = "priority-store") -> None:
+        super().__init__(env, name=name)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._sequence = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> list[Any]:
+        return [item for _, _, item in sorted(self._heap)]
+
+    def put(self, item: Any, priority: Any = 0) -> None:  # type: ignore[override]
+        heapq.heappush(self._heap, (priority, next(self._sequence), item))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._heap and self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered:
+                continue
+            _, _, item = heapq.heappop(self._heap)
+            getter.succeed(item)
+
+
+class Resource:
+    """A counting resource with ``capacity`` identical slots.
+
+    ``request`` returns an event that triggers once a slot is available;
+    ``release`` frees a slot.  The :meth:`acquire` generator helper combines
+    the two into a context usable from a simulation process.
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
+        if capacity < 0:
+            raise ValueError(f"resource capacity must be non-negative, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Return an event that triggers once a slot has been granted."""
+        event = self.env.event()
+        self._waiters.append(event)
+        self._grant()
+        return event
+
+    def release(self) -> None:
+        """Release a previously granted slot."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on {self.name!r} with no slots in use")
+        self._in_use -= 1
+        self._grant()
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity (used when hosts gain or lose devices)."""
+        if capacity < 0:
+            raise ValueError(f"resource capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters and self._in_use < self.capacity:
+            waiter = self._waiters.pop(0)
+            if waiter.triggered:
+                continue
+            self._in_use += 1
+            waiter.succeed(self)
+
+    def acquire(self, body: Optional[Generator[Event, Any, Any]] = None
+                ) -> Generator[Event, Any, Any]:
+        """Acquire a slot, optionally run ``body``, then release the slot."""
+        yield self.request()
+        try:
+            if body is not None:
+                result = yield self.env.process(body)
+                return result
+            return None
+        finally:
+            self.release()

@@ -1,0 +1,196 @@
+"""AST-based analysis of notebook cell code.
+
+The executor replica converts submitted code to a Python AST and inspects it
+to identify runtime state that must be synchronized with its peers
+(§3.2.4, Figure 6): module-level assignments, augmented assignments, imports,
+deletions, and names that are mutated through attribute/subscript writes or
+method calls that commonly mutate (``append``, ``update``, ``load_state_dict``,
+``fit``, ``train``, ...).  Names that are only *read* do not need replication.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Set
+
+# Method names that, when called on a top-level variable, are treated as
+# mutating that variable.  Interactive ML code overwhelmingly mutates state
+# through these (optimizer.step(), history.append(), model.load_state_dict()).
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "pop", "remove", "clear",
+    "setdefault", "load_state_dict", "fit", "train", "step", "zero_grad",
+    "backward", "cuda", "to", "eval",
+}
+
+
+@dataclass
+class CodeAnalysis:
+    """The replication-relevant facts extracted from one cell's code."""
+
+    assigned_names: Set[str] = field(default_factory=set)
+    mutated_names: Set[str] = field(default_factory=set)
+    deleted_names: Set[str] = field(default_factory=set)
+    imported_modules: Set[str] = field(default_factory=set)
+    referenced_names: Set[str] = field(default_factory=set)
+    defined_functions: Set[str] = field(default_factory=set)
+    defined_classes: Set[str] = field(default_factory=set)
+    has_syntax_error: bool = False
+
+    @property
+    def names_to_replicate(self) -> Set[str]:
+        """Every top-level name whose value must be synchronized to peers."""
+        return (self.assigned_names | self.mutated_names
+                | self.defined_functions | self.defined_classes)
+
+    @property
+    def touches_state(self) -> bool:
+        return bool(self.names_to_replicate or self.deleted_names
+                    or self.imported_modules)
+
+
+class _TopLevelVisitor(ast.NodeVisitor):
+    """Collects top-level (kernel-namespace) state effects of a cell."""
+
+    def __init__(self, analysis: CodeAnalysis) -> None:
+        self.analysis = analysis
+        self._depth = 0
+
+    # -- scope tracking: only module-level statements touch the namespace --
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._depth == 0:
+            self.analysis.defined_functions.add(node.name)
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if self._depth == 0:
+            self.analysis.defined_functions.add(node.name)
+        self._enter_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._depth == 0:
+            self.analysis.defined_classes.add(node.name)
+        self._enter_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope(node)
+
+    # -- assignments --
+    def _record_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.analysis.assigned_names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if root is not None:
+                self.analysis.mutated_names.add(root)
+        elif isinstance(target, ast.Starred):
+            self._record_target(target.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._depth == 0:
+            for target in node.targets:
+                self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._depth == 0 and node.value is not None:
+            self._record_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._depth == 0:
+            self._record_target(node.target)
+            if isinstance(node.target, ast.Name):
+                self.analysis.mutated_names.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        if self._depth == 0 and isinstance(node.target, ast.Name):
+            self.analysis.assigned_names.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._depth == 0:
+            self._record_target(node.target)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        if self._depth == 0:
+            for item in node.items:
+                if item.optional_vars is not None:
+                    self._record_target(item.optional_vars)
+        self.generic_visit(node)
+
+    # -- deletions --
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if self._depth == 0:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.analysis.deleted_names.add(target.id)
+        self.generic_visit(node)
+
+    # -- imports --
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._depth == 0:
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                self.analysis.imported_modules.add(name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._depth == 0:
+            for alias in node.names:
+                self.analysis.imported_modules.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- mutation through method calls --
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._depth == 0 and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                root = _root_name(node.func.value)
+                if root is not None:
+                    self.analysis.mutated_names.add(root)
+        self.generic_visit(node)
+
+    # -- plain reads --
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.analysis.referenced_names.add(node.id)
+        self.generic_visit(node)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The left-most name of an attribute/subscript chain (``a`` in ``a.b[0].c``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def analyze_code(code: str) -> CodeAnalysis:
+    """Parse ``code`` and return its replication-relevant state effects.
+
+    Code with syntax errors yields an analysis flagged with
+    ``has_syntax_error`` and no replicable state (the kernel would surface
+    the error to the user and nothing would change in the namespace).
+    """
+    analysis = CodeAnalysis()
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        analysis.has_syntax_error = True
+        return analysis
+    _TopLevelVisitor(analysis).visit(tree)
+    # A module import does not need value replication but is part of the
+    # namespace; record it with the assigned names for completeness.
+    analysis.assigned_names |= analysis.imported_modules
+    return analysis

@@ -1,0 +1,54 @@
+"""Namespace object descriptors and size classification.
+
+NotebookOS treats namespace state in two classes (§3.2.4):
+
+* **small** objects (scalars, hyperparameter dicts, loss histories, code
+  objects) are replicated directly through the Raft log;
+* **large** objects (model parameters copied from GPU VRAM, training
+  datasets — hundreds of MB to GB) are written asynchronously to the
+  distributed data store, and only a pointer enters the Raft log.
+
+The classification threshold is configurable; the default of 1 MiB matches
+the intuition that anything that would bloat a consensus log round-trip goes
+to bulk storage instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+LARGE_OBJECT_THRESHOLD_BYTES = 1024 * 1024
+
+
+class ObjectClass(enum.Enum):
+    """How a namespace object is replicated."""
+
+    SMALL = "small"   # replicated inline through the Raft log
+    LARGE = "large"   # checkpointed to the distributed data store
+
+
+@dataclass(frozen=True)
+class NamespaceObject:
+    """A (name, size, kind) descriptor of one kernel-namespace variable."""
+
+    name: str
+    size_bytes: int
+    kind: str = "object"   # e.g. "model", "dataset", "scalar", "history"
+    resides_on_gpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"object size must be non-negative: {self}")
+
+    @property
+    def object_class(self) -> ObjectClass:
+        return classify_object(self.size_bytes)
+
+
+def classify_object(size_bytes: int,
+                    threshold: int = LARGE_OBJECT_THRESHOLD_BYTES) -> ObjectClass:
+    """Classify an object by size into SMALL (Raft) or LARGE (data store)."""
+    if size_bytes < 0:
+        raise ValueError(f"object size must be non-negative, got {size_bytes}")
+    return ObjectClass.LARGE if size_bytes >= threshold else ObjectClass.SMALL

@@ -1,0 +1,55 @@
+"""Workload models, traces, and synthetic generators.
+
+The paper evaluates NotebookOS on a production IDLT trace (AdobeTrace) and
+compares its characteristics against two public BDLT traces (PhillyTrace and
+AlibabaTrace).  Those traces are not public, so this package generates
+synthetic equivalents whose task-duration, inter-arrival-time, and GPU-usage
+distributions are fit to the percentile statistics the paper publishes
+(§2.3, Figures 2, 7, and 20).
+
+* :mod:`repro.workload.models` — the model/dataset registry of Table 1 with
+  realistic parameter sizes and VRAM footprints;
+* :mod:`repro.workload.trace` — trace records (sessions and cell tasks);
+* :mod:`repro.workload.generator` — the Adobe/Philly/Alibaba-style generators;
+* :mod:`repro.workload.characterization` — the statistics behind Figure 2;
+* :mod:`repro.workload.driver` — the workload driver that replays a trace
+  against a platform under a given scheduling policy.
+"""
+
+from repro.workload.models import (
+    DATASETS,
+    MODELS,
+    ApplicationDomain,
+    DatasetProfile,
+    ModelProfile,
+    WorkloadAssignment,
+    assign_workload,
+)
+from repro.workload.trace import SessionTrace, TaskRecord, Trace
+from repro.workload.generator import (
+    AdobeTraceGenerator,
+    AlibabaTraceGenerator,
+    PhillyTraceGenerator,
+)
+from repro.workload.characterization import (
+    TraceCharacterization,
+    characterize_trace,
+)
+
+__all__ = [
+    "AdobeTraceGenerator",
+    "AlibabaTraceGenerator",
+    "ApplicationDomain",
+    "DATASETS",
+    "DatasetProfile",
+    "MODELS",
+    "ModelProfile",
+    "PhillyTraceGenerator",
+    "SessionTrace",
+    "TaskRecord",
+    "Trace",
+    "TraceCharacterization",
+    "WorkloadAssignment",
+    "assign_workload",
+    "characterize_trace",
+]

@@ -1,0 +1,118 @@
+"""Workload characterization: the statistics behind Figure 2.
+
+Given a :class:`~repro.workload.trace.Trace`, :func:`characterize_trace`
+computes the distributions the paper reports in §2.3:
+
+* the task-duration CDF (Fig. 2(a)),
+* the per-session inter-arrival-time CDF (Fig. 2(b)),
+* the GPU utilization CDF and per-session GPU duty-cycle CDF (Fig. 2(c)), and
+* the reserved-vs-utilized GPU/CPU timelines (Fig. 2(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.workload.trace import Trace
+
+
+@dataclass
+class TimelinePoint:
+    """One sample of the reserved-vs-utilized resource timeline."""
+
+    time: float
+    reserved_gpus: int
+    utilized_gpus: float
+    reserved_cpus: float
+    utilized_cpus: float
+
+
+@dataclass
+class TraceCharacterization:
+    """The Figure 2 statistics for one trace."""
+
+    trace_name: str
+    task_durations: List[float] = field(default_factory=list)
+    inter_arrival_times: List[float] = field(default_factory=list)
+    gpu_utilization_samples: List[float] = field(default_factory=list)
+    session_duty_cycles: List[float] = field(default_factory=list)
+    timeline: List[TimelinePoint] = field(default_factory=list)
+
+    def duration_percentile(self, q: float) -> float:
+        return _percentile(self.task_durations, q)
+
+    def iat_percentile(self, q: float) -> float:
+        return _percentile(self.inter_arrival_times, q)
+
+    def fraction_reserved_gpu_time_idle(self) -> float:
+        """Fraction of reserved GPU-time that was idle (paper: > 81 %)."""
+        if not self.timeline:
+            return 0.0
+        reserved = sum(point.reserved_gpus for point in self.timeline)
+        utilized = sum(point.utilized_gpus for point in self.timeline)
+        if reserved == 0:
+            return 0.0
+        return 1.0 - (utilized / reserved)
+
+    def fraction_sessions_with_low_usage(self, threshold: float = 0.05) -> float:
+        """Fraction of sessions whose GPU duty cycle is at most ``threshold``."""
+        if not self.session_duty_cycles:
+            return 0.0
+        low = sum(1 for duty in self.session_duty_cycles if duty <= threshold)
+        return low / len(self.session_duty_cycles)
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers quoted in §2.3, for direct comparison."""
+        return {
+            "duration_p50": self.duration_percentile(0.50),
+            "duration_p75": self.duration_percentile(0.75),
+            "duration_p90": self.duration_percentile(0.90),
+            "duration_p99": self.duration_percentile(0.99),
+            "iat_p50": self.iat_percentile(0.50),
+            "iat_p75": self.iat_percentile(0.75),
+            "reserved_gpu_idle_fraction": self.fraction_reserved_gpu_time_idle(),
+            "sessions_leq_5pct_usage": self.fraction_sessions_with_low_usage(0.05),
+        }
+
+
+def characterize_trace(trace: Trace, timeline_samples: int = 200,
+                       cpus_per_session: float = 8.0) -> TraceCharacterization:
+    """Compute the Figure 2 statistics for ``trace``."""
+    result = TraceCharacterization(trace_name=trace.name)
+
+    for session in trace:
+        result.session_duty_cycles.append(session.gpu_duty_cycle())
+        result.inter_arrival_times.extend(session.inter_arrival_times())
+        for task in session.tasks:
+            result.task_durations.append(task.duration)
+
+    horizon = trace.duration
+    if horizon > 0 and timeline_samples > 0:
+        step = horizon / timeline_samples
+        for i in range(timeline_samples + 1):
+            time = i * step
+            reserved_gpus = sum(s.gpus_requested for s in trace
+                                if s.start_time <= time < s.end_time)
+            utilized_gpus = 0.0
+            for task in trace.all_tasks:
+                if task.is_gpu_task and task.submit_time <= time < task.end_time:
+                    utilized_gpus += task.gpus * task.gpu_utilization
+            active_sessions = trace.active_sessions_at(time)
+            reserved_cpus = active_sessions * cpus_per_session
+            utilized_cpus = trace.active_trainings_at(time) * cpus_per_session * 0.5
+            result.timeline.append(TimelinePoint(
+                time=time, reserved_gpus=reserved_gpus, utilized_gpus=utilized_gpus,
+                reserved_cpus=reserved_cpus, utilized_cpus=utilized_cpus))
+            if reserved_gpus > 0:
+                result.gpu_utilization_samples.append(
+                    min(1.0, utilized_gpus / reserved_gpus))
+    return result
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[index]

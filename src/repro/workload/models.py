@@ -1,0 +1,124 @@
+"""The model and dataset registry used in the evaluation (Table 1).
+
+The paper integrates six DL models and six datasets across three application
+domains — computer vision, natural language processing, and speech
+recognition — and the workload driver randomly assigns each client a domain,
+then a model and dataset within it.  The registry records the sizes that
+matter to the platform: parameter bytes (what gets checkpointed and copied
+between host memory and GPU VRAM) and dataset bytes (what gets staged from
+remote storage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simulation.distributions import SeededRandom
+
+
+class ApplicationDomain(enum.Enum):
+    """Application domains from Table 1."""
+
+    COMPUTER_VISION = "computer_vision"
+    NLP = "natural_language_processing"
+    SPEECH_RECOGNITION = "speech_recognition"
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A deep-learning model with the sizes relevant to the platform."""
+
+    name: str
+    domain: ApplicationDomain
+    parameters_millions: float
+    vram_footprint_gb: float
+    typical_gpus: int
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Size of the parameter tensor in bytes (fp32)."""
+        return int(self.parameters_millions * 1e6 * 4)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A training dataset with its on-disk size."""
+
+    name: str
+    domain: ApplicationDomain
+    size_gb: float
+    num_samples: int
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.size_gb * 1024 ** 3)
+
+
+MODELS: Dict[str, ModelProfile] = {
+    "vgg-16": ModelProfile("VGG-16", ApplicationDomain.COMPUTER_VISION,
+                           parameters_millions=138.0, vram_footprint_gb=8.0,
+                           typical_gpus=1),
+    "resnet-18": ModelProfile("ResNet-18", ApplicationDomain.COMPUTER_VISION,
+                              parameters_millions=11.7, vram_footprint_gb=4.0,
+                              typical_gpus=1),
+    "inception-v3": ModelProfile("Inception v3", ApplicationDomain.COMPUTER_VISION,
+                                 parameters_millions=23.8, vram_footprint_gb=6.0,
+                                 typical_gpus=1),
+    "bert": ModelProfile("BERT", ApplicationDomain.NLP,
+                         parameters_millions=110.0, vram_footprint_gb=12.0,
+                         typical_gpus=2),
+    "gpt-2": ModelProfile("GPT-2", ApplicationDomain.NLP,
+                          parameters_millions=124.0, vram_footprint_gb=14.0,
+                          typical_gpus=2),
+    "deep-speech-2": ModelProfile("Deep Speech 2", ApplicationDomain.SPEECH_RECOGNITION,
+                                  parameters_millions=87.0, vram_footprint_gb=10.0,
+                                  typical_gpus=2),
+}
+
+DATASETS: Dict[str, DatasetProfile] = {
+    "cifar-10": DatasetProfile("CIFAR-10", ApplicationDomain.COMPUTER_VISION,
+                               size_gb=0.17, num_samples=60_000),
+    "cifar-100": DatasetProfile("CIFAR-100", ApplicationDomain.COMPUTER_VISION,
+                                size_gb=0.17, num_samples=60_000),
+    "tiny-imagenet": DatasetProfile("Tiny ImageNet", ApplicationDomain.COMPUTER_VISION,
+                                    size_gb=0.24, num_samples=110_000),
+    "imdb": DatasetProfile("IMDb Large Movie Reviews", ApplicationDomain.NLP,
+                           size_gb=0.08, num_samples=50_000),
+    "cola": DatasetProfile("CoLA", ApplicationDomain.NLP,
+                           size_gb=0.01, num_samples=10_657),
+    "librispeech": DatasetProfile("LibriSpeech", ApplicationDomain.SPEECH_RECOGNITION,
+                                  size_gb=60.0, num_samples=281_241),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadAssignment:
+    """The (domain, model, dataset) tuple assigned to one client session."""
+
+    domain: ApplicationDomain
+    model: ModelProfile
+    dataset: DatasetProfile
+
+
+def models_for_domain(domain: ApplicationDomain) -> List[ModelProfile]:
+    return [m for m in MODELS.values() if m.domain == domain]
+
+
+def datasets_for_domain(domain: ApplicationDomain) -> List[DatasetProfile]:
+    return [d for d in DATASETS.values() if d.domain == domain]
+
+
+def assign_workload(rng: SeededRandom,
+                    domain: Optional[ApplicationDomain] = None) -> WorkloadAssignment:
+    """Randomly assign a domain, model, and dataset, as the workload driver does.
+
+    The paper's driver first assigns each client an application domain, then a
+    random model and dataset from that domain (§5.1.2).
+    """
+    if domain is None:
+        domain = rng.choice(list(ApplicationDomain))
+    model = rng.choice(models_for_domain(domain))
+    dataset = rng.choice(datasets_for_domain(domain))
+    return WorkloadAssignment(domain=domain, model=model, dataset=dataset)

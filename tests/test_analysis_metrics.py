@@ -1,0 +1,265 @@
+"""Tests for the analysis helpers, metrics collector, and billing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CDF, Timeline, describe, geometric_mean, percentile, resample
+from repro.analysis.timeline import difference
+from repro.metrics import (
+    BillingModel,
+    EventKind,
+    ExperimentResult,
+    LatencyBreakdown,
+    MetricsCollector,
+    REQUEST_STEPS,
+    StepLatencies,
+)
+from repro.metrics.cost import cost_timeline, gpu_hours_saved_by_state_persistence
+from repro.workload import SessionTrace, TaskRecord, Trace
+
+
+# ----------------------------------------------------------------------
+# Analysis helpers.
+# ----------------------------------------------------------------------
+
+def test_percentile_interpolation():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 1.0) == 40.0
+    assert percentile(values, 0.5) == pytest.approx(25.0)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_cdf_summary_and_probability():
+    cdf = CDF.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+    summary = cdf.summary()
+    assert summary["count"] == 5
+    assert summary["min"] == 1.0
+    assert summary["max"] == 5.0
+    assert cdf.probability_at_or_below(3.0) == pytest.approx(0.6)
+    assert cdf.probability_at_or_below(0.5) == 0.0
+    assert len(cdf.points(num_points=3)) == 3
+
+
+def test_empty_cdf():
+    cdf = CDF.from_values([])
+    assert cdf.is_empty
+    assert cdf.summary() == {"count": 0}
+    assert cdf.points() == []
+
+
+def test_describe_and_geometric_mean():
+    stats = describe([2.0, 4.0, 6.0])
+    assert stats["mean"] == pytest.approx(4.0)
+    assert stats["median"] == pytest.approx(4.0)
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_percentiles_are_monotone_property(values):
+    cdf = CDF.from_values(values)
+    assert cdf.percentile(0.25) <= cdf.percentile(0.75) + 1e-9
+    assert cdf.percentile(0.0) == min(values)
+    assert cdf.percentile(1.0) == max(values)
+
+
+def test_timeline_recording_and_integral():
+    timeline = Timeline("gpus")
+    timeline.record(0.0, 10.0)
+    timeline.record(3600.0, 20.0)
+    timeline.record(7200.0, 0.0)
+    assert timeline.value_at(1800.0) == 10.0
+    assert timeline.value_at(5000.0) == 20.0
+    assert timeline.maximum() == 20.0
+    # 10 GPUs for the first hour + 20 GPUs for the second hour.
+    assert timeline.integral() == pytest.approx(10 * 3600 + 20 * 3600)
+
+
+def test_timeline_rejects_out_of_order_samples():
+    timeline = Timeline("x")
+    timeline.record(10.0, 1.0)
+    with pytest.raises(ValueError):
+        timeline.record(5.0, 2.0)
+
+
+def test_timeline_resample_and_difference():
+    timeline = Timeline("a")
+    timeline.record(0.0, 5.0)
+    timeline.record(100.0, 15.0)
+    grid = resample(timeline, 0.0, 200.0, 50.0)
+    assert grid.values == [5.0, 5.0, 15.0, 15.0, 15.0]
+    other = Timeline("b")
+    other.record(0.0, 1.0)
+    saved = difference(timeline, other, grid.times)
+    assert saved.values == [4.0, 4.0, 14.0, 14.0, 14.0]
+
+
+# ----------------------------------------------------------------------
+# Metrics collector.
+# ----------------------------------------------------------------------
+
+def test_task_metrics_delays():
+    collector = MetricsCollector()
+    task = collector.new_task("s1", "k1", submitted_at=100.0, gpus=2)
+    task.started_at = 103.0
+    task.completed_at = 200.0
+    task.status = "ok"
+    assert task.interactivity_delay == pytest.approx(3.0)
+    assert task.task_completion_time == pytest.approx(100.0)
+    assert task.execution_time == pytest.approx(97.0)
+    assert collector.interactivity_cdf().percentile(0.5) == pytest.approx(3.0)
+    assert collector.tct_cdf().percentile(0.5) == pytest.approx(100.0)
+
+
+def test_collector_cluster_sampling_and_gpu_hours():
+    collector = MetricsCollector()
+    collector.sample_cluster(0.0, provisioned_gpus=80, committed_gpus=10,
+                             active_sessions=5, active_trainings=2,
+                             subscription_ratio=0.5, provisioned_hosts=10)
+    collector.sample_cluster(3600.0, provisioned_gpus=80, committed_gpus=20,
+                             active_sessions=6, active_trainings=3,
+                             subscription_ratio=0.6, provisioned_hosts=10)
+    collector.sample_cluster(7200.0, provisioned_gpus=40, committed_gpus=0,
+                             active_sessions=6, active_trainings=0,
+                             subscription_ratio=0.3, provisioned_hosts=5)
+    assert collector.provisioned_gpu_hours() == pytest.approx(160.0)
+    assert collector.committed_gpu_hours() == pytest.approx(30.0)
+
+
+def test_collector_events_and_executor_stats():
+    collector = MetricsCollector()
+    collector.record_event(10.0, EventKind.KERNEL_CREATED, "k1")
+    collector.record_event(20.0, EventKind.KERNEL_MIGRATION, "k1 -> host-2")
+    collector.record_event(30.0, EventKind.SCALE_OUT, "+2 hosts")
+    assert len(collector.events_of_kind(EventKind.KERNEL_MIGRATION)) == 1
+    collector.record_executor_decision(immediate_commit=True, same_executor=True)
+    collector.record_executor_decision(immediate_commit=False, same_executor=True)
+    assert collector.immediate_commit_fraction() == pytest.approx(0.5)
+    assert collector.same_executor_fraction() == pytest.approx(1.0)
+
+
+def test_experiment_result_summary_and_savings():
+    def build(policy, gpus):
+        collector = MetricsCollector()
+        task = collector.new_task("s", "k", submitted_at=0.0, gpus=1)
+        task.started_at = 1.0
+        task.completed_at = 61.0
+        collector.sample_cluster(0.0, gpus, 0, 1, 0, 0.0, gpus // 8)
+        collector.sample_cluster(3600.0, gpus, 0, 1, 0, 0.0, gpus // 8)
+        return ExperimentResult(policy=policy, trace_name="t", collector=collector)
+
+    notebookos = build("notebookos", 80)
+    reservation = build("reservation", 240)
+    assert notebookos.gpu_hours_saved_vs(reservation) == pytest.approx(160.0)
+    summary = notebookos.summary()
+    assert summary["policy"] == "notebookos"
+    assert summary["tasks_completed"] == 1
+    assert summary["provisioned_gpu_hours"] == pytest.approx(80.0)
+
+
+# ----------------------------------------------------------------------
+# Latency breakdown.
+# ----------------------------------------------------------------------
+
+def test_step_latencies_accumulate_and_validate():
+    steps = StepLatencies()
+    steps.record("execute_code", 10.0)
+    steps.record("execute_code", 5.0)
+    steps.record("gs_process_request", 0.5)
+    assert steps.get("execute_code") == 15.0
+    assert steps.end_to_end == pytest.approx(15.5)
+    with pytest.raises(KeyError):
+        steps.record("unknown_step", 1.0)
+    with pytest.raises(ValueError):
+        steps.record("execute_code", -1.0)
+
+
+def test_latency_breakdown_table_covers_all_steps():
+    breakdown = LatencyBreakdown(policy="notebookos")
+    for i in range(5):
+        sample = StepLatencies()
+        sample.record("gs_process_request", 0.01 * (i + 1))
+        sample.record("primary_replica_protocol", 0.03)
+        sample.record("execute_code", 60.0)
+        breakdown.add(sample)
+    table = breakdown.table()
+    assert set(table) == set(REQUEST_STEPS) | {"end_to_end"}
+    assert table["execute_code"]["p50"] == pytest.approx(60.0)
+    assert table["ls_process_request"] == {"count": 0}
+    assert len(breakdown) == 5
+
+
+# ----------------------------------------------------------------------
+# Billing model.
+# ----------------------------------------------------------------------
+
+def make_billing_trace():
+    """One 10-hour session requesting 4 GPUs that trains for 1 hour total."""
+    tasks = [TaskRecord(session_id="s", submit_time=3600.0 * i, duration=1200.0, gpus=4)
+             for i in range(3)]
+    session = SessionTrace(session_id="s", user_id="u", start_time=0.0,
+                           end_time=36000.0, gpus_requested=4, tasks=tasks)
+    return Trace(name="billing", sessions=[session])
+
+
+def test_billing_example_from_paper():
+    """§5.5.1: $10/hr host -> standby replica $1.44/hr, 4-GPU training $5.75/hr."""
+    billing = BillingModel(host_hourly_rate_usd=10.0, gpus_per_host=8)
+    standby_hourly = (billing.host_hourly_rate_usd * billing.user_multiplier
+                      * billing.standby_replica_fraction)
+    assert standby_hourly == pytest.approx(1.4375, abs=1e-3)
+    training_hourly = billing.host_hourly_rate_usd * billing.user_multiplier * 0.5
+    assert training_hourly == pytest.approx(5.75)
+
+
+def test_reservation_revenue_exceeds_notebookos_cost_efficiency():
+    billing = BillingModel(host_hourly_rate_usd=10.0, gpus_per_host=8)
+    trace = make_billing_trace()
+
+    reservation_gpus = Timeline("reservation")
+    reservation_gpus.record(0.0, 8)          # one full host reserved
+    reservation_gpus.record(36000.0, 8)
+    notebookos_gpus = Timeline("notebookos")
+    notebookos_gpus.record(0.0, 2)           # oversubscribed: fewer GPUs provisioned
+    notebookos_gpus.record(36000.0, 2)
+
+    reservation_report = billing.report("reservation", trace, reservation_gpus)
+    notebookos_report = billing.report("notebookos", trace, notebookos_gpus)
+    assert notebookos_report.provider_cost_usd < reservation_report.provider_cost_usd
+    assert notebookos_report.cost_reduction_vs(reservation_report) > 0.5
+    assert -1.0 <= notebookos_report.profit_margin <= 1.0
+
+
+def test_gpu_hours_saved_decreases_with_longer_reclamation_interval():
+    trace = make_billing_trace()
+    reports = gpu_hours_saved_by_state_persistence(
+        trace, reclamation_intervals_minutes=(15, 30, 60, 90, 120))
+    assert len(reports) == 5
+    savings = [r.gpu_hours_saved for r in reports]
+    assert all(a >= b for a, b in zip(savings, savings[1:]))
+    assert savings[0] > 0.0
+
+
+def test_cost_timeline_is_monotone():
+    billing = BillingModel(host_hourly_rate_usd=10.0)
+    trace = make_billing_trace()
+    gpus = Timeline("g")
+    gpus.record(0.0, 16)
+    gpus.record(36000.0, 16)
+    series = cost_timeline(billing, trace, gpus, policy="reservation", num_points=10)
+    assert len(series["time_days"]) == 10
+    assert all(a <= b + 1e-9 for a, b in
+               zip(series["provider_cost"], series["provider_cost"][1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(series["revenue"], series["revenue"][1:]))

@@ -1,0 +1,176 @@
+"""Failure-injection and recovery tests: replica failures, migration under
+pressure, scale-out limits, and the oracle provisioning curve."""
+
+import pytest
+
+from repro.cluster.resources import ResourceRequest
+from repro.core import ClusterConfig, NotebookOSPlatform, PlatformConfig
+from repro.core.distributed_kernel import ReplicaState
+from repro.metrics.collector import EventKind
+from repro.policies import NotebookOSPolicy, oracle_gpu_timeline
+from repro.workload import SessionTrace, TaskRecord, Trace
+
+
+def build_platform(initial_hosts=4, max_hosts=12, **config_kwargs):
+    policy = NotebookOSPolicy()
+    platform = NotebookOSPlatform(
+        policy,
+        cluster_config=ClusterConfig(initial_hosts=initial_hosts, max_hosts=max_hosts),
+        platform_config=PlatformConfig(**config_kwargs))
+    return platform, policy
+
+
+def start_kernel(platform, session_id="s1", gpus=2):
+    process = platform.env.process(platform.global_scheduler.start_kernel(
+        session_id, ResourceRequest(gpus=gpus)))
+    return platform.env.run(until=process)
+
+
+# ----------------------------------------------------------------------
+# Replica failure handling (§3.2.5).
+# ----------------------------------------------------------------------
+
+def test_replica_failure_is_replaced_and_kernel_stays_at_full_strength():
+    platform, _policy = build_platform()
+    kernel = start_kernel(platform)
+    assert len(kernel.active_replicas) == 3
+    victim = kernel.active_replicas[0]
+
+    process = platform.env.process(
+        platform.global_scheduler.handle_replica_failure(kernel, victim))
+    new_replica = platform.env.run(until=process)
+
+    assert victim.state == ReplicaState.TERMINATED
+    assert new_replica.replica_id != victim.replica_id
+    assert len(kernel.active_replicas) == 3
+    failures = platform.metrics.events_of_kind(EventKind.REPLICA_FAILURE)
+    assert len(failures) == 1
+
+
+def test_replica_failure_restores_checkpointed_state():
+    platform, _policy = build_platform()
+    kernel = start_kernel(platform)
+    large = [obj for obj in kernel.namespace_objects() if obj.size_bytes >= 1024 ** 2]
+    checkpoint = platform.env.process(
+        kernel.synchronizer.checkpoint_manager.checkpoint_all(large))
+    platform.env.run(until=checkpoint)
+    reads_before = len(platform.datastore.read_latencies)
+
+    victim = kernel.active_replicas[1]
+    process = platform.env.process(
+        platform.global_scheduler.handle_replica_failure(kernel, victim))
+    platform.env.run(until=process)
+    # The replacement replica read the persisted objects back from storage.
+    assert len(platform.datastore.read_latencies) > reads_before
+
+
+# ----------------------------------------------------------------------
+# Migration behaviour.
+# ----------------------------------------------------------------------
+
+def test_migration_moves_replica_to_host_with_idle_gpus():
+    platform, _policy = build_platform(initial_hosts=4)
+    kernel = start_kernel(platform, gpus=4)
+    original_hosts = set(kernel.host_ids)
+    # Saturate the GPUs on every host currently hosting a replica.
+    for replica in kernel.active_replicas:
+        replica.host.bind_gpus("someone-else", replica.host.idle_gpus,
+                               platform.env.now)
+    process = platform.env.process(
+        platform.global_scheduler.migrate_replica(kernel, gpus_required=4))
+    new_replica = platform.env.run(until=process)
+    assert new_replica is not None
+    assert new_replica.host_id not in original_hosts
+    assert kernel.migrations == 1
+    # The target host bound the GPUs exclusively for the migrated replica.
+    assert new_replica.host.gpus.owners().get(kernel.kernel_id)
+    events = platform.metrics.events_of_kind(EventKind.KERNEL_MIGRATION)
+    assert len(events) == 1
+
+
+def test_migration_aborts_when_no_capacity_can_ever_be_found():
+    platform, _policy = build_platform(initial_hosts=3, max_hosts=3,
+                                       migration_max_retries=1,
+                                       migration_retry_interval_s=1.0)
+    kernel = start_kernel(platform, gpus=8)
+    for host in platform.cluster.active_hosts:
+        if host.idle_gpus:
+            host.bind_gpus("blocker", host.idle_gpus, platform.env.now)
+    process = platform.env.process(
+        platform.global_scheduler.migrate_replica(kernel, gpus_required=8))
+    result = platform.env.run(until=process)
+    assert result is None
+    assert platform.global_scheduler.migrations_aborted == 1
+    # The victim replica is returned to service rather than left dangling.
+    assert all(r.state in (ReplicaState.IDLE, ReplicaState.EXECUTING)
+               for r in kernel.active_replicas)
+
+
+def test_migration_prefers_prewarmed_containers():
+    platform, _policy = build_platform(initial_hosts=4)
+    kernel = start_kernel(platform, gpus=8)
+    platform.env.run(until=platform.env.now + 200.0)  # let the prewarmer fill pools
+    for replica in kernel.active_replicas:
+        if replica.host.idle_gpus:
+            replica.host.bind_gpus("someone-else", replica.host.idle_gpus,
+                                   platform.env.now)
+    hits_before = platform.prewarmer.hits
+    process = platform.env.process(
+        platform.global_scheduler.migrate_replica(kernel, gpus_required=8))
+    new_replica = platform.env.run(until=process)
+    assert new_replica is not None
+    if new_replica.was_prewarmed:
+        assert platform.prewarmer.hits == hits_before + 1
+
+
+# ----------------------------------------------------------------------
+# Scale-out limits.
+# ----------------------------------------------------------------------
+
+def test_scale_out_respects_max_hosts():
+    platform, _policy = build_platform(initial_hosts=3, max_hosts=4)
+    process = platform.env.process(
+        platform.global_scheduler.scale_out(5, reason="test"))
+    hosts = platform.env.run(until=process)
+    assert len(hosts) == 1
+    assert len(platform.cluster.active_hosts) == 4
+    # Further scale-out requests are no-ops at the ceiling.
+    process = platform.env.process(
+        platform.global_scheduler.scale_out(2, reason="test"))
+    assert platform.env.run(until=process) == []
+
+
+def test_kernel_shutdown_releases_host_subscriptions():
+    platform, _policy = build_platform()
+    kernel = start_kernel(platform, gpus=2)
+    assert any(h.subscribed_gpus > 0 for h in platform.cluster.active_hosts)
+    process = platform.env.process(platform.global_scheduler.shutdown_kernel(kernel))
+    platform.env.run(until=process)
+    assert all(h.subscribed_gpus == 0 for h in platform.cluster.active_hosts)
+    assert all(h.container_count == 0 for h in platform.cluster.active_hosts)
+
+
+# ----------------------------------------------------------------------
+# Oracle provisioning curve.
+# ----------------------------------------------------------------------
+
+def test_oracle_timeline_matches_hand_computed_demand():
+    tasks = [
+        TaskRecord(session_id="a", submit_time=100.0, duration=200.0, gpus=2),
+        TaskRecord(session_id="a", submit_time=400.0, duration=100.0, gpus=2),
+        TaskRecord(session_id="b", submit_time=150.0, duration=100.0, gpus=4),
+    ]
+    trace = Trace(name="t", sessions=[
+        SessionTrace(session_id="a", user_id="u", start_time=0.0, end_time=1000.0,
+                     gpus_requested=2, tasks=tasks[:2]),
+        SessionTrace(session_id="b", user_id="v", start_time=0.0, end_time=1000.0,
+                     gpus_requested=4, tasks=tasks[2:]),
+    ])
+    oracle = oracle_gpu_timeline(trace, sample_interval=50.0)
+    assert oracle.value_at(120.0) == 2
+    assert oracle.value_at(200.0) == 6
+    assert oracle.value_at(320.0) == 0
+    assert oracle.value_at(450.0) == 2
+    assert oracle.maximum() == 6
+    with pytest.raises(ValueError):
+        oracle_gpu_timeline(trace, sample_interval=0.0)

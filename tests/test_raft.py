@@ -1,0 +1,351 @@
+"""Unit and integration tests for the Raft consensus substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raft import (
+    KeyValueStateMachine,
+    LogEntry,
+    RaftCluster,
+    RaftConfig,
+    RaftLog,
+    Role,
+)
+from repro.simulation import Environment, Network, SeededRandom
+
+
+# ----------------------------------------------------------------------
+# RaftLog unit tests.
+# ----------------------------------------------------------------------
+
+def test_empty_log_indices():
+    log = RaftLog()
+    assert log.last_index == 0
+    assert log.last_term == 0
+    assert log.term_at(0) == 0
+    assert log.entry_at(1) is None
+
+
+def test_append_assigns_sequential_indices():
+    log = RaftLog()
+    first = log.append(1, "a")
+    second = log.append(1, "b")
+    assert (first.index, second.index) == (1, 2)
+    assert log.last_index == 2
+
+
+def test_has_entry_consistency_check():
+    log = RaftLog()
+    log.append(1, "a")
+    log.append(2, "b")
+    assert log.has_entry(0, 0)
+    assert log.has_entry(1, 1)
+    assert log.has_entry(2, 2)
+    assert not log.has_entry(2, 1)
+    assert not log.has_entry(3, 2)
+
+
+def test_append_entries_truncates_conflicts():
+    log = RaftLog()
+    log.append(1, "a")
+    log.append(1, "b")
+    log.append(1, "c")
+    # A new leader in term 2 overwrites index 2 onwards.
+    replacement = [LogEntry(term=2, command="B", index=2)]
+    log.append_entries(prev_index=1, entries=replacement)
+    assert log.last_index == 2
+    assert log.entry_at(2).command == "B"
+    assert log.entry_at(3) is None
+
+
+def test_compact_removes_prefix_and_tracks_snapshot():
+    log = RaftLog()
+    for i in range(5):
+        log.append(1, f"cmd-{i}")
+    removed = log.compact(3)
+    assert removed == 3
+    assert log.snapshot_index == 3
+    assert log.last_index == 5
+    assert log.entry_at(3) is None
+    assert log.entry_at(4).command == "cmd-3"
+    assert log.has_entry(3, 1)
+
+
+def test_compact_beyond_last_index_is_clamped():
+    log = RaftLog()
+    log.append(1, "a")
+    log.compact(100)
+    assert log.snapshot_index == 1
+    assert log.last_index == 1
+
+
+def test_install_snapshot_resets_log():
+    log = RaftLog()
+    log.append(1, "a")
+    log.install_snapshot(index=10, term=3)
+    assert log.last_index == 10
+    assert log.last_term == 3
+    assert log.entries == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(terms=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30))
+def test_log_append_property_indices_monotone(terms):
+    log = RaftLog()
+    last_term = 0
+    for term in sorted(terms):
+        entry = log.append(max(term, last_term), "cmd")
+        last_term = max(term, last_term)
+        assert entry.index == log.last_index
+    indices = [e.index for e in log.entries]
+    assert indices == sorted(indices)
+    assert len(set(indices)) == len(indices)
+
+
+# ----------------------------------------------------------------------
+# Cluster-level integration tests.
+# ----------------------------------------------------------------------
+
+def build_cluster(num_nodes=3, seed=0, default_latency=0.002):
+    env = Environment()
+    network = Network(env, default_latency=default_latency)
+    member_ids = [f"node-{i}" for i in range(num_nodes)]
+    cluster = RaftCluster(env, network, member_ids,
+                          state_machine_factory=lambda _id: KeyValueStateMachine(),
+                          config=RaftConfig(),
+                          rng=SeededRandom(seed))
+    cluster.start()
+    return env, network, cluster
+
+
+def test_config_validation_rejects_bad_timing():
+    with pytest.raises(ValueError):
+        RaftConfig(election_timeout_min=0.0).validate()
+    with pytest.raises(ValueError):
+        RaftConfig(election_timeout_min=0.3, election_timeout_max=0.2).validate()
+    with pytest.raises(ValueError):
+        RaftConfig(heartbeat_interval=0.5).validate()
+
+
+def test_single_leader_elected():
+    env, _network, cluster = build_cluster()
+    env.run(until=2.0)
+    leaders = [node for node in cluster.nodes.values() if node.role == Role.LEADER]
+    assert len(leaders) == 1
+
+
+def test_leader_is_stable_without_failures():
+    env, _network, cluster = build_cluster(seed=3)
+    env.run(until=2.0)
+    first_leader = cluster.leader().node_id
+    env.run(until=10.0)
+    assert cluster.leader().node_id == first_leader
+    # Exactly one term bump per successful election round.
+    assert cluster.leader().current_term <= 3
+
+
+def test_proposal_commits_and_applies_on_all_nodes():
+    env, _network, cluster = build_cluster()
+    env.run(until=2.0)
+    leader = cluster.leader()
+    event = leader.propose(("set", "x", 41))
+    env.run(until=event)
+    assert event.value == 41
+    env.run(until=env.now + 1.0)
+    for node in cluster.nodes.values():
+        assert node.state_machine.data.get("x") == 41
+
+
+def test_proposal_via_follower_is_forwarded_to_leader():
+    env, _network, cluster = build_cluster(seed=5)
+    env.run(until=2.0)
+    leader_id = cluster.leader().node_id
+    follower = next(node for node in cluster.nodes.values()
+                    if node.node_id != leader_id)
+    event = follower.propose(("set", "forwarded", "yes"))
+    env.run(until=event)
+    env.run(until=env.now + 1.0)
+    for node in cluster.nodes.values():
+        assert node.state_machine.data.get("forwarded") == "yes"
+
+
+def test_proposal_before_leader_election_is_buffered():
+    env, _network, cluster = build_cluster(seed=8)
+    node = next(iter(cluster.nodes.values()))
+    event = node.propose(("set", "early", 1))
+    env.run(until=event)
+    assert node.state_machine.data.get("early") == 1
+
+
+def test_many_proposals_apply_in_order_on_every_node():
+    env, _network, cluster = build_cluster(seed=2)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    events = [leader.propose(("set", f"k{i}", i)) for i in range(20)]
+    for event in events:
+        env.run(until=event)
+    env.run(until=env.now + 1.0)
+    reference = None
+    for node in cluster.nodes.values():
+        sets = [c for c in node.state_machine.applied_commands if c[0] == "set"]
+        if reference is None:
+            reference = sets
+        assert sets == reference
+    assert len(reference) == 20
+
+
+def test_leader_failure_triggers_new_election_and_progress():
+    env, network, cluster = build_cluster(seed=4)
+    env.run(until=2.0)
+    old_leader = cluster.leader()
+    network.isolate(old_leader.node_id)
+    env.run(until=env.now + 2.0)
+    survivors = [node for node in cluster.nodes.values()
+                 if node.node_id != old_leader.node_id]
+    new_leaders = [node for node in survivors if node.is_leader]
+    assert len(new_leaders) == 1
+    event = new_leaders[0].propose(("set", "after-failover", True))
+    env.run(until=event)
+    assert new_leaders[0].state_machine.data["after-failover"] is True
+
+
+def test_isolated_old_leader_steps_down_on_rejoin():
+    env, network, cluster = build_cluster(seed=6)
+    env.run(until=2.0)
+    old_leader = cluster.leader()
+    network.isolate(old_leader.node_id)
+    env.run(until=env.now + 2.0)
+    network.rejoin(old_leader.node_id)
+    env.run(until=env.now + 2.0)
+    leaders = [node for node in cluster.nodes.values() if node.is_leader]
+    assert len(leaders) == 1
+    assert cluster.logs_consistent()
+
+
+def test_logs_remain_consistent_after_partition_heal():
+    env, network, cluster = build_cluster(seed=9)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    follower = next(node for node in cluster.nodes.values()
+                    if node.node_id != leader.node_id)
+    network.isolate(follower.node_id)
+    events = [leader.propose(("set", f"p{i}", i)) for i in range(5)]
+    for event in events:
+        env.run(until=event)
+    network.rejoin(follower.node_id)
+    env.run(until=env.now + 3.0)
+    assert cluster.logs_consistent()
+    assert follower.state_machine.data.get("p4") == 4
+
+
+def test_remove_member_keeps_cluster_operational():
+    env, _network, cluster = build_cluster(seed=10)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    victim = next(node_id for node_id in cluster.member_ids
+                  if node_id != leader.node_id)
+    cluster.remove_member(victim)
+    env.run(until=env.now + 1.0)
+    active_leader = cluster.leader()
+    assert active_leader is not None
+    event = active_leader.propose(("set", "post-removal", 1))
+    env.run(until=event)
+    assert len(cluster.member_ids) == 2
+
+
+def test_add_member_catches_up_via_replication():
+    env, _network, cluster = build_cluster(seed=11)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    events = [leader.propose(("set", f"seed{i}", i)) for i in range(5)]
+    for event in events:
+        env.run(until=event)
+    new_node = cluster.add_member("node-joiner")
+    env.run(until=env.now + 3.0)
+    assert new_node.state_machine.data.get("seed4") == 4
+    assert cluster.logs_consistent()
+
+
+def test_migration_like_remove_then_add():
+    """Mimics a NotebookOS replica migration: remove one member, add a new one."""
+    env, _network, cluster = build_cluster(seed=12)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    event = leader.propose(("set", "before-migration", "state"))
+    env.run(until=event)
+    victim = next(node_id for node_id in cluster.member_ids
+                  if node_id != cluster.leader().node_id)
+    cluster.remove_member(victim)
+    new_node = cluster.add_member("node-migrated")
+    env.run(until=env.now + 3.0)
+    assert len(cluster.member_ids) == 3
+    assert new_node.state_machine.data.get("before-migration") == "state"
+    post = cluster.leader().propose(("set", "after-migration", "ok"))
+    env.run(until=post)
+    env.run(until=env.now + 1.0)
+    assert new_node.state_machine.data.get("after-migration") == "ok"
+
+
+def test_five_node_cluster_tolerates_two_failures():
+    env, network, cluster = build_cluster(num_nodes=5, seed=13)
+    env.run(until=2.0)
+    members = cluster.member_ids
+    leader_id = cluster.leader().node_id
+    victims = [m for m in members if m != leader_id][:2]
+    for victim in victims:
+        network.isolate(victim)
+    env.run(until=env.now + 2.0)
+    leader = cluster.leader()
+    assert leader is not None
+    event = leader.propose(("set", "with-two-down", 1))
+    env.run(until=event)
+    assert event.value == 1
+
+
+def test_minority_partition_cannot_commit():
+    env, network, cluster = build_cluster(seed=14)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    # Isolate the leader: it retains leadership belief but cannot commit.
+    network.isolate(leader.node_id)
+    env.run(until=env.now + 0.5)
+    event = leader.propose(("set", "phantom", 1))
+    env.run(until=env.now + 3.0)
+    assert not event.triggered
+    survivors = [n for n in cluster.nodes.values() if n.node_id != leader.node_id]
+    assert all(n.state_machine.data.get("phantom") is None for n in survivors)
+
+
+def test_elections_counter_increments():
+    env, _network, cluster = build_cluster(seed=15)
+    env.run(until=2.0)
+    total_started = sum(n.elections_started for n in cluster.nodes.values())
+    total_won = sum(n.elections_won for n in cluster.nodes.values())
+    assert total_started >= 1
+    assert total_won >= 1
+
+
+def test_apply_listener_invoked_for_each_command():
+    env, _network, cluster = build_cluster(seed=16)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    seen = []
+    leader.add_apply_listener(lambda index, command, result: seen.append(command))
+    event = leader.propose(("set", "listened", 1))
+    env.run(until=event)
+    assert ("set", "listened", 1) in seen
+
+
+def test_key_value_state_machine_operations():
+    machine = KeyValueStateMachine()
+    machine.apply(1, ("set", "a", 1))
+    machine.apply(2, ("set", "b", 2))
+    machine.apply(3, ("delete", "a"))
+    machine.apply(4, ("noop",))
+    machine.apply(5, "not-a-tuple")
+    assert machine.data == {"b": 2}
+    snapshot = machine.snapshot()
+    machine.apply(6, ("set", "c", 3))
+    machine.restore(snapshot)
+    assert machine.data == {"b": 2}

@@ -1,0 +1,239 @@
+"""Unit tests for the latency-modelled network and random distributions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import (
+    Environment,
+    Link,
+    Network,
+    SeededRandom,
+    LogNormalSampler,
+    ExponentialSampler,
+    BoundedParetoSampler,
+    PiecewiseCDFSampler,
+    EmpiricalSampler,
+    constant,
+)
+
+
+def make_network(default_latency=0.001):
+    env = Environment()
+    return env, Network(env, default_latency=default_latency)
+
+
+def test_send_delivers_after_default_latency():
+    env, network = make_network(default_latency=0.25)
+    network.register("a")
+    inbox_b = network.register("b")
+    received = []
+
+    def receiver():
+        message = yield inbox_b.get()
+        received.append((message.payload, env.now, message.latency))
+
+    env.process(receiver())
+    network.send("a", "b", "ping", payload={"n": 1})
+    env.run()
+    assert received == [({"n": 1}, 0.25, 0.25)]
+
+
+def test_explicit_link_latency_and_bandwidth():
+    env, network = make_network()
+    network.register("a")
+    inbox = network.register("b")
+    network.set_link("a", "b", Link(latency_fn=constant(0.1),
+                                    bandwidth_bytes_per_sec=1000.0))
+    arrival = []
+
+    def receiver():
+        yield inbox.get()
+        arrival.append(env.now)
+
+    env.process(receiver())
+    network.send("a", "b", "data", payload=b"", size_bytes=500)
+    env.run()
+    # 0.1 s propagation + 500 / 1000 s transmission.
+    assert arrival == [pytest.approx(0.6)]
+
+
+def test_partition_drops_messages():
+    env, network = make_network()
+    network.register("a")
+    inbox = network.register("b")
+    network.partition("a", "b")
+    network.send("a", "b", "ping")
+    env.run()
+    assert len(inbox) == 0
+    assert network.messages_dropped == 1
+
+
+def test_heal_restores_delivery():
+    env, network = make_network()
+    network.register("a")
+    inbox = network.register("b")
+    network.partition("a", "b")
+    network.heal("a", "b")
+    network.send("a", "b", "ping")
+    env.run()
+    assert len(inbox) == 1
+
+
+def test_isolate_and_rejoin():
+    env, network = make_network()
+    for name in ("a", "b", "c"):
+        network.register(name)
+    network.isolate("a")
+    network.send("a", "b", "x")
+    network.send("c", "a", "y")
+    env.run()
+    assert network.messages_dropped == 2
+    network.rejoin("a")
+    network.send("a", "b", "x2")
+    env.run()
+    assert len(network.inbox("b")) == 1
+
+
+def test_send_to_unregistered_destination_is_dropped():
+    env, network = make_network()
+    network.register("a")
+    network.send("a", "ghost", "ping")
+    env.run()
+    assert network.messages_dropped == 1
+
+
+def test_inbox_for_unknown_endpoint_raises():
+    _env, network = make_network()
+    with pytest.raises(KeyError):
+        network.inbox("nobody")
+
+
+def test_lossy_link_drops_with_probability_one():
+    env = Environment()
+    network = Network(env, rng=SeededRandom(7))
+    network.register("a")
+    inbox = network.register("b")
+    network.set_link("a", "b", Link(latency_fn=constant(0.01), drop_probability=1.0))
+    for _ in range(5):
+        network.send("a", "b", "ping")
+    env.run()
+    assert len(inbox) == 0
+    assert network.messages_dropped == 5
+
+
+def test_rpc_reply_event():
+    env, network = make_network(default_latency=0.05)
+    network.register("client")
+    server_inbox = network.register("server")
+
+    def server():
+        message = yield server_inbox.get()
+        reply_to = message.payload["reply_to"]
+        yield env.timeout(0.1)
+        reply_to.succeed({"status": "ok"})
+
+    def client():
+        reply = network.rpc("client", "server", "start", payload={"id": 1})
+        response = yield reply
+        return response, env.now
+
+    env.process(server())
+    client_proc = env.process(client())
+    response, finished_at = env.run(until=client_proc)
+    assert response == {"status": "ok"}
+    assert finished_at == pytest.approx(0.15)
+
+
+# ----------------------------------------------------------------------
+# Distribution samplers.
+# ----------------------------------------------------------------------
+
+def test_seeded_random_substreams_are_independent_and_deterministic():
+    rng = SeededRandom(42)
+    a1 = rng.substream("workload").random()
+    b1 = rng.substream("network").random()
+    rng2 = SeededRandom(42)
+    assert rng2.substream("workload").random() == a1
+    assert rng2.substream("network").random() == b1
+    assert a1 != b1
+
+
+def test_lognormal_sampler_median_close():
+    rng = SeededRandom(1)
+    sampler = LogNormalSampler(median=120.0, sigma=1.0, rng=rng)
+    samples = sorted(sampler.sample() for _ in range(4000))
+    median = samples[len(samples) // 2]
+    assert 90.0 < median < 160.0
+
+
+def test_lognormal_sampler_respects_bounds():
+    rng = SeededRandom(2)
+    sampler = LogNormalSampler(median=10.0, sigma=2.0, rng=rng,
+                               minimum=1.0, maximum=100.0)
+    samples = [sampler.sample() for _ in range(1000)]
+    assert min(samples) >= 1.0
+    assert max(samples) <= 100.0
+
+
+def test_exponential_sampler_mean_close():
+    rng = SeededRandom(3)
+    sampler = ExponentialSampler(mean=300.0, rng=rng)
+    samples = [sampler.sample() for _ in range(5000)]
+    mean = sum(samples) / len(samples)
+    assert 270.0 < mean < 330.0
+
+
+def test_bounded_pareto_respects_bounds():
+    rng = SeededRandom(4)
+    sampler = BoundedParetoSampler(alpha=1.2, lower=10.0, upper=1000.0, rng=rng)
+    samples = [sampler.sample() for _ in range(2000)]
+    assert min(samples) >= 10.0
+    assert max(samples) <= 1000.0
+
+
+def test_piecewise_cdf_matches_knot_percentiles():
+    rng = SeededRandom(5)
+    # AdobeTrace task-duration percentiles from the paper (§2.3.1).
+    knots = [(0.0, 15.0), (0.5, 120.0), (0.75, 300.0), (0.9, 1020.0),
+             (0.95, 2160.0), (0.99, 10920.0), (1.0, 40000.0)]
+    sampler = PiecewiseCDFSampler(knots, rng)
+    assert sampler.quantile(0.5) == pytest.approx(120.0)
+    assert sampler.quantile(0.9) == pytest.approx(1020.0)
+    samples = sorted(sampler.sample() for _ in range(8000))
+    p50 = samples[int(0.5 * len(samples))]
+    p90 = samples[int(0.9 * len(samples))]
+    assert 90.0 < p50 < 160.0
+    assert 750.0 < p90 < 1400.0
+
+
+def test_piecewise_cdf_validation():
+    rng = SeededRandom(6)
+    with pytest.raises(ValueError):
+        PiecewiseCDFSampler([(0.0, 1.0)], rng)
+    with pytest.raises(ValueError):
+        PiecewiseCDFSampler([(0.5, 10.0), (0.5, 20.0)], rng)
+    with pytest.raises(ValueError):
+        PiecewiseCDFSampler([(0.0, -1.0), (1.0, 5.0)], rng)
+
+
+def test_empirical_sampler_only_returns_observed_values():
+    rng = SeededRandom(7)
+    values = [1.0, 2.0, 3.0]
+    sampler = EmpiricalSampler(values, rng)
+    assert all(sampler.sample() in values for _ in range(100))
+
+
+@settings(max_examples=50, deadline=None)
+@given(q=st.floats(min_value=0.0, max_value=1.0))
+def test_piecewise_cdf_quantile_is_monotone_property(q):
+    rng = SeededRandom(11)
+    knots = [(0.0, 10.0), (0.5, 100.0), (1.0, 1000.0)]
+    sampler = PiecewiseCDFSampler(knots, rng)
+    value = sampler.quantile(q)
+    assert 10.0 <= value <= 1000.0
+    if q > 0.0:
+        assert sampler.quantile(q) >= sampler.quantile(q * 0.5) - 1e-9
+    assert not math.isnan(value)

@@ -1,0 +1,309 @@
+"""Unit tests for AST analysis, object classification, checkpointing, and sync."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DistributedDataStore
+from repro.raft import KeyValueStateMachine, RaftCluster
+from repro.simulation import Environment, Network, SeededRandom
+from repro.statesync import (
+    CheckpointManager,
+    LARGE_OBJECT_THRESHOLD_BYTES,
+    NamespaceObject,
+    ObjectClass,
+    StateSynchronizer,
+    analyze_code,
+    classify_object,
+)
+from repro.statesync.synchronizer import SyncLatencyModel
+
+
+# ----------------------------------------------------------------------
+# AST analysis.
+# ----------------------------------------------------------------------
+
+def test_simple_assignment_detected():
+    analysis = analyze_code("learning_rate = 0.001\nepochs = 10")
+    assert analysis.assigned_names == {"learning_rate", "epochs"}
+    assert analysis.touches_state
+
+
+def test_augmented_assignment_marks_mutation():
+    analysis = analyze_code("counter += 1")
+    assert "counter" in analysis.mutated_names
+    assert "counter" in analysis.names_to_replicate
+
+
+def test_attribute_and_subscript_writes_mark_root_name():
+    analysis = analyze_code("config['lr'] = 0.1\nmodel.dropout = 0.5")
+    assert {"config", "model"} <= analysis.mutated_names
+
+
+def test_mutating_method_calls_detected():
+    code = "loss_history.append(loss)\noptimizer.step()\nmodel.load_state_dict(ckpt)"
+    analysis = analyze_code(code)
+    assert {"loss_history", "optimizer", "model"} <= analysis.mutated_names
+
+
+def test_pure_reads_do_not_replicate():
+    analysis = analyze_code("print(accuracy)\nresult = accuracy")
+    assert "accuracy" in analysis.referenced_names
+    assert "accuracy" not in analysis.names_to_replicate
+    assert "result" in analysis.names_to_replicate
+
+
+def test_imports_and_definitions_detected():
+    code = (
+        "import torch\n"
+        "from torch import nn as neural\n"
+        "def train_one_epoch(model):\n"
+        "    local_only = 1\n"
+        "    return model\n"
+        "class Trainer:\n"
+        "    pass\n"
+    )
+    analysis = analyze_code(code)
+    assert {"torch", "neural"} <= analysis.imported_modules
+    assert "train_one_epoch" in analysis.defined_functions
+    assert "Trainer" in analysis.defined_classes
+    # Names assigned only inside function bodies stay local.
+    assert "local_only" not in analysis.names_to_replicate
+
+
+def test_tuple_unpacking_and_for_loop_targets():
+    analysis = analyze_code("a, (b, c) = 1, (2, 3)\nfor epoch in range(3):\n    pass")
+    assert {"a", "b", "c", "epoch"} <= analysis.assigned_names
+
+
+def test_with_statement_target_detected():
+    analysis = analyze_code("with open('f') as handle:\n    data = handle.read()")
+    assert "handle" in analysis.assigned_names
+    assert "data" in analysis.assigned_names
+
+
+def test_delete_statement_detected():
+    analysis = analyze_code("del old_model")
+    assert analysis.deleted_names == {"old_model"}
+    assert analysis.touches_state
+
+
+def test_walrus_operator_detected():
+    analysis = analyze_code("if (n := compute()) > 3:\n    pass")
+    assert "n" in analysis.assigned_names
+
+
+def test_syntax_error_yields_empty_analysis():
+    analysis = analyze_code("def broken(:\n    pass")
+    assert analysis.has_syntax_error
+    assert not analysis.touches_state
+
+
+def test_realistic_training_cell():
+    code = (
+        "model = VGG16(num_classes=10)\n"
+        "optimizer = torch.optim.SGD(model.parameters(), lr=lr)\n"
+        "for epoch in range(epochs):\n"
+        "    loss = train_epoch(model, loader, optimizer)\n"
+        "    history.append(loss)\n"
+    )
+    analysis = analyze_code(code)
+    assert {"model", "optimizer", "epoch"} <= analysis.assigned_names
+    # `loss` is assigned inside the for body at module depth 0 -> replicated.
+    assert "history" in analysis.mutated_names
+    assert "train_epoch" not in analysis.names_to_replicate
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True),
+       value=st.integers(min_value=0, max_value=10**6))
+def test_any_simple_assignment_is_detected_property(name, value):
+    analysis = analyze_code(f"{name} = {value}")
+    assert name in analysis.assigned_names
+
+
+# ----------------------------------------------------------------------
+# Object classification.
+# ----------------------------------------------------------------------
+
+def test_classification_threshold():
+    assert classify_object(0) == ObjectClass.SMALL
+    assert classify_object(LARGE_OBJECT_THRESHOLD_BYTES - 1) == ObjectClass.SMALL
+    assert classify_object(LARGE_OBJECT_THRESHOLD_BYTES) == ObjectClass.LARGE
+
+
+def test_classification_rejects_negative():
+    with pytest.raises(ValueError):
+        classify_object(-1)
+    with pytest.raises(ValueError):
+        NamespaceObject(name="x", size_bytes=-5)
+
+
+def test_namespace_object_class_property():
+    small = NamespaceObject(name="lr", size_bytes=64, kind="scalar")
+    big = NamespaceObject(name="model", size_bytes=500 * 1024 ** 2, kind="model",
+                          resides_on_gpu=True)
+    assert small.object_class == ObjectClass.SMALL
+    assert big.object_class == ObjectClass.LARGE
+
+
+# ----------------------------------------------------------------------
+# Checkpoint manager.
+# ----------------------------------------------------------------------
+
+def make_checkpoint_env():
+    env = Environment()
+    store = DistributedDataStore(env, backend="s3", rng=SeededRandom(1))
+    manager = CheckpointManager(env=env, datastore=store, kernel_id="kernel-1")
+    return env, store, manager
+
+
+def test_checkpoint_and_restore_roundtrip():
+    env, store, manager = make_checkpoint_env()
+    model = NamespaceObject(name="model", size_bytes=250 * 1024 ** 2, kind="model")
+
+    def run():
+        pointer = yield env.process(manager.checkpoint(model, node_id="replica-1"))
+        restored = yield env.process(manager.restore("model", node_id="replica-2"))
+        return pointer, restored
+
+    pointer, restored = env.run(until=env.process(run()))
+    assert pointer.key == "kernel-1/model"
+    assert restored.size_bytes == model.size_bytes
+    assert manager.checkpoints_written == 1
+    assert manager.objects_restored == 1
+    assert store.object_count() == 1
+
+
+def test_checkpoint_all_and_restore_all():
+    env, _store, manager = make_checkpoint_env()
+    objects = [NamespaceObject(name=f"shard-{i}", size_bytes=10 * 1024 ** 2)
+               for i in range(3)]
+
+    def run():
+        pointers = yield env.process(manager.checkpoint_all(objects))
+        restored = yield env.process(manager.restore_all(node_id="new-replica"))
+        return pointers, restored
+
+    pointers, restored = env.run(until=env.process(run()))
+    assert len(pointers) == 3
+    assert len(restored) == 3
+    assert sorted(manager.checkpointed_names) == ["shard-0", "shard-1", "shard-2"]
+    assert manager.total_checkpointed_bytes() == 30 * 1024 ** 2
+
+
+def test_restore_unknown_object_raises():
+    env, _store, manager = make_checkpoint_env()
+
+    def run():
+        yield env.process(manager.restore("ghost"))
+
+    with pytest.raises(KeyError):
+        env.run(until=env.process(run()))
+
+
+def test_checkpoint_versioning_on_overwrite():
+    env, _store, manager = make_checkpoint_env()
+    obj = NamespaceObject(name="model", size_bytes=2 * 1024 ** 2)
+
+    def run():
+        first = yield env.process(manager.checkpoint(obj))
+        second = yield env.process(manager.checkpoint(obj))
+        return first, second
+
+    first, second = env.run(until=env.process(run()))
+    assert second.version == first.version + 1
+    assert manager.pointer_for("model").version == second.version
+
+
+# ----------------------------------------------------------------------
+# State synchronizer.
+# ----------------------------------------------------------------------
+
+def make_synchronizer(raft=False, seed=3):
+    env = Environment()
+    network = Network(env)
+    store = DistributedDataStore(env, backend="s3", rng=SeededRandom(seed))
+    manager = CheckpointManager(env=env, datastore=store, kernel_id="kernel-1")
+    cluster = None
+    if raft:
+        cluster = RaftCluster(env, network, [f"kernel-1-r{i}" for i in range(3)],
+                              state_machine_factory=lambda _id: KeyValueStateMachine(),
+                              rng=SeededRandom(seed))
+        cluster.start()
+    synchronizer = StateSynchronizer(env, "kernel-1", manager, raft_cluster=cluster,
+                                     rng=SeededRandom(seed))
+    return env, synchronizer, manager
+
+
+NAMESPACE = [
+    NamespaceObject(name="model", size_bytes=300 * 1024 ** 2, kind="model"),
+    NamespaceObject(name="dataset", size_bytes=1024 ** 3, kind="dataset"),
+    NamespaceObject(name="lr", size_bytes=32, kind="scalar"),
+    NamespaceObject(name="history", size_bytes=2048, kind="history"),
+    NamespaceObject(name="untouched", size_bytes=128, kind="scalar"),
+]
+
+
+def test_synchronize_splits_small_and_large_state():
+    env, synchronizer, manager = make_synchronizer()
+    code = "model = train(model, dataset)\nlr = 0.01\nhistory.append(lr)"
+
+    def run():
+        report = yield env.process(synchronizer.synchronize(
+            code, NAMESPACE, executor_replica="replica-1", node_id="replica-1"))
+        return report
+
+    report = env.run(until=env.process(run()))
+    assert {o.name for o in report.small_objects} == {"lr", "history"}
+    assert {o.name for o in report.large_objects} == {"model"}
+    assert "untouched" not in report.replicated_names
+    assert report.raft_sync_latency > 0
+    assert report.checkpoint_latency > 0
+    assert manager.checkpoints_written == 1
+    assert synchronizer.sync_latencies
+
+
+def test_synchronize_pure_read_cell_is_noop():
+    env, synchronizer, manager = make_synchronizer()
+
+    def run():
+        report = yield env.process(synchronizer.synchronize(
+            "print(history)", NAMESPACE, executor_replica="replica-1"))
+        return report
+
+    report = env.run(until=env.process(run()))
+    assert report.raft_sync_latency == 0.0
+    assert report.bytes_via_datastore == 0
+    assert manager.checkpoints_written == 0
+
+
+def test_synchronize_with_real_raft_cluster():
+    env, synchronizer, _manager = make_synchronizer(raft=True)
+    env.run(until=2.0)  # allow leader election
+
+    def run():
+        report = yield env.process(synchronizer.synchronize(
+            "lr = 0.1", NAMESPACE, executor_replica="replica-1"))
+        return report
+
+    report = env.run(until=env.process(run()))
+    assert report.raft_sync_latency > 0
+    # The committed sync command becomes visible on every replica's state machine.
+    env.run(until=env.now + 1.0)
+    for node_id in synchronizer.raft_cluster.member_ids:
+        commands = synchronizer.raft_cluster.committed_commands(node_id)
+        assert any(isinstance(c, tuple) and c and c[0] == "sync_state"
+                   for c in commands)
+
+
+def test_sync_latency_model_magnitudes_match_figure11():
+    rng = SeededRandom(9)
+    model = SyncLatencyModel()
+    samples = sorted(model.sample(rng) for _ in range(20000))
+    p90 = samples[int(0.90 * len(samples))]
+    p99 = samples[int(0.99 * len(samples))]
+    # Figure 11: p90 = 54.79 ms, p99 = 268.25 ms. Same order of magnitude.
+    assert 0.02 < p90 < 0.15
+    assert 0.08 < p99 < 0.60
+    assert min(samples) >= model.minimum_s

@@ -1,0 +1,238 @@
+"""Tests for the model registry, trace records, generators, and characterization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import SeededRandom
+from repro.workload import (
+    AdobeTraceGenerator,
+    AlibabaTraceGenerator,
+    ApplicationDomain,
+    DATASETS,
+    MODELS,
+    PhillyTraceGenerator,
+    SessionTrace,
+    TaskRecord,
+    Trace,
+    assign_workload,
+    characterize_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Model / dataset registry (Table 1).
+# ----------------------------------------------------------------------
+
+def test_registry_matches_table1_contents():
+    assert len(MODELS) == 6
+    assert len(DATASETS) == 6
+    cv_models = [m for m in MODELS.values()
+                 if m.domain == ApplicationDomain.COMPUTER_VISION]
+    nlp_models = [m for m in MODELS.values() if m.domain == ApplicationDomain.NLP]
+    speech_models = [m for m in MODELS.values()
+                     if m.domain == ApplicationDomain.SPEECH_RECOGNITION]
+    assert {m.name for m in cv_models} == {"VGG-16", "ResNet-18", "Inception v3"}
+    assert {m.name for m in nlp_models} == {"BERT", "GPT-2"}
+    assert {m.name for m in speech_models} == {"Deep Speech 2"}
+
+
+def test_model_parameter_bytes_are_plausible():
+    vgg = MODELS["vgg-16"]
+    assert 500e6 < vgg.parameter_bytes < 600e6   # ~552 MB of fp32 weights
+    resnet = MODELS["resnet-18"]
+    assert resnet.parameter_bytes < vgg.parameter_bytes
+
+
+def test_assign_workload_respects_domain():
+    rng = SeededRandom(1)
+    for _ in range(50):
+        assignment = assign_workload(rng, domain=ApplicationDomain.NLP)
+        assert assignment.model.domain == ApplicationDomain.NLP
+        assert assignment.dataset.domain == ApplicationDomain.NLP
+
+
+def test_assign_workload_is_deterministic_per_seed():
+    first = assign_workload(SeededRandom(7))
+    second = assign_workload(SeededRandom(7))
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Trace records.
+# ----------------------------------------------------------------------
+
+def make_session(tasks=None, start=0.0, end=3600.0, gpus=2):
+    return SessionTrace(session_id="s", user_id="u", start_time=start,
+                        end_time=end, gpus_requested=gpus, tasks=tasks or [])
+
+
+def test_task_record_validation():
+    with pytest.raises(ValueError):
+        TaskRecord(session_id="s", submit_time=-1.0, duration=10.0, gpus=1)
+    with pytest.raises(ValueError):
+        TaskRecord(session_id="s", submit_time=0.0, duration=-5.0, gpus=1)
+
+
+def test_session_trace_validation():
+    with pytest.raises(ValueError):
+        SessionTrace(session_id="s", user_id="u", start_time=100.0, end_time=50.0,
+                     gpus_requested=1)
+
+
+def test_session_iat_and_duty_cycle():
+    tasks = [
+        TaskRecord(session_id="s", submit_time=0.0, duration=120.0, gpus=2),
+        TaskRecord(session_id="s", submit_time=300.0, duration=60.0, gpus=2),
+        TaskRecord(session_id="s", submit_time=900.0, duration=60.0, gpus=2),
+    ]
+    session = make_session(tasks=tasks, end=2400.0)
+    assert session.inter_arrival_times() == [300.0, 600.0]
+    assert session.gpu_busy_seconds() == 240.0
+    assert session.gpu_duty_cycle() == pytest.approx(0.1)
+    assert session.gpu_task_count == 3
+
+
+def test_trace_active_counts_and_oracle_demand():
+    tasks_a = [TaskRecord(session_id="a", submit_time=100.0, duration=200.0, gpus=2)]
+    tasks_b = [TaskRecord(session_id="b", submit_time=150.0, duration=100.0, gpus=4)]
+    trace = Trace(name="t", sessions=[
+        make_session(tasks=tasks_a, start=0.0, end=1000.0),
+        SessionTrace(session_id="b", user_id="u2", start_time=50.0, end_time=500.0,
+                     gpus_requested=4, tasks=tasks_b),
+    ])
+    assert trace.total_task_count == 2
+    assert trace.active_sessions_at(60.0) == 2
+    assert trace.active_sessions_at(700.0) == 1
+    assert trace.active_trainings_at(200.0) == 2
+    assert trace.required_gpus_at(200.0) == 6
+    assert trace.required_gpus_at(400.0) == 0
+
+
+def test_trace_truncation_clips_sessions_and_tasks():
+    tasks = [TaskRecord(session_id="a", submit_time=t, duration=50.0, gpus=1)
+             for t in (100.0, 2000.0, 5000.0)]
+    trace = Trace(name="t", sessions=[make_session(tasks=tasks, end=10000.0)])
+    clipped = trace.truncated(3000.0)
+    assert clipped.sessions[0].end_time == 3000.0
+    assert len(clipped.sessions[0].tasks) == 2
+    assert clipped.duration <= 3000.0
+
+
+# ----------------------------------------------------------------------
+# Generators.
+# ----------------------------------------------------------------------
+
+def test_adobe_generator_is_deterministic():
+    trace_a = AdobeTraceGenerator(seed=3, num_sessions=10, duration_hours=4.0).generate()
+    trace_b = AdobeTraceGenerator(seed=3, num_sessions=10, duration_hours=4.0).generate()
+    assert trace_a.total_task_count == trace_b.total_task_count
+    for sa, sb in zip(trace_a, trace_b):
+        assert [t.submit_time for t in sa.tasks] == [t.submit_time for t in sb.tasks]
+
+
+def test_adobe_generator_different_seeds_differ():
+    trace_a = AdobeTraceGenerator(seed=1, num_sessions=10, duration_hours=4.0).generate()
+    trace_b = AdobeTraceGenerator(seed=2, num_sessions=10, duration_hours=4.0).generate()
+    submits_a = [t.submit_time for t in trace_a.all_tasks]
+    submits_b = [t.submit_time for t in trace_b.all_tasks]
+    assert submits_a != submits_b
+
+
+def test_adobe_generator_matches_published_percentiles():
+    trace = AdobeTraceGenerator(seed=0, num_sessions=120, duration_hours=24.0).generate()
+    character = characterize_trace(trace, timeline_samples=50)
+    summary = character.summary()
+    # §2.3.1: p50 = 120 s, p75 = 300 s (loose tolerance for sampling noise).
+    assert 80.0 < summary["duration_p50"] < 180.0
+    assert 200.0 < summary["duration_p75"] < 450.0
+    # §2.3.2: IAT p50 = 300 s, minimum 240 s.
+    assert 240.0 <= min(character.inter_arrival_times)
+    assert 250.0 < summary["iat_p50"] < 600.0
+
+
+def test_adobe_sessions_persist_to_trace_end():
+    generator = AdobeTraceGenerator(seed=5, num_sessions=20, duration_hours=10.0)
+    trace = generator.generate()
+    assert all(s.end_time == pytest.approx(generator.duration_seconds) for s in trace)
+    # Active sessions accumulate over the trace (Figure 7 behaviour).
+    early = trace.active_sessions_at(0.05 * generator.duration_seconds)
+    late = trace.active_sessions_at(0.99 * generator.duration_seconds)
+    assert late >= early
+    assert late == len(trace)
+
+
+def test_adobe_idle_fraction_produces_idle_sessions():
+    generator = AdobeTraceGenerator(seed=6, num_sessions=60, duration_hours=24.0,
+                                    idle_session_fraction=0.6)
+    trace = generator.generate()
+    idle_sessions = [s for s in trace if not s.tasks]
+    assert 0.4 < len(idle_sessions) / len(trace) < 0.8
+
+
+def test_characterization_preset_shows_low_utilization():
+    trace = AdobeTraceGenerator.characterization_preset(seed=2, num_sessions=80,
+                                                        duration_hours=24.0 * 7).generate()
+    character = characterize_trace(trace, timeline_samples=100)
+    # Observation 3: reserved GPU resources idle the vast majority of the time.
+    assert character.fraction_reserved_gpu_time_idle() > 0.6
+    assert character.fraction_sessions_with_low_usage(0.05) > 0.5
+
+
+def test_philly_and_alibaba_have_longer_tasks_and_shorter_iats():
+    adobe = AdobeTraceGenerator(seed=1, num_sessions=60, duration_hours=48.0).generate()
+    philly = PhillyTraceGenerator(seed=1, num_sessions=60, duration_hours=48.0).generate()
+    alibaba = AlibabaTraceGenerator(seed=1, num_sessions=60, duration_hours=48.0).generate()
+    adobe_char = characterize_trace(adobe, timeline_samples=0)
+    philly_char = characterize_trace(philly, timeline_samples=0)
+    alibaba_char = characterize_trace(alibaba, timeline_samples=0)
+    # Observation 1: IDLT tasks are much shorter than BDLT tasks.
+    assert adobe_char.duration_percentile(0.5) < philly_char.duration_percentile(0.5)
+    assert adobe_char.duration_percentile(0.5) < alibaba_char.duration_percentile(0.5)
+    # Observation 2: IDLT tasks are submitted less frequently.
+    assert adobe_char.iat_percentile(0.5) > philly_char.iat_percentile(0.5)
+    assert adobe_char.iat_percentile(0.5) > alibaba_char.iat_percentile(0.5)
+
+
+def test_generator_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        AdobeTraceGenerator(num_sessions=0)
+    with pytest.raises(ValueError):
+        AdobeTraceGenerator(duration_hours=0)
+    with pytest.raises(ValueError):
+        AdobeTraceGenerator(idle_session_fraction=1.5)
+    with pytest.raises(ValueError):
+        AdobeTraceGenerator(gpu_choices=(1, 2), gpu_weights=(1.0,))
+
+
+def test_generated_tasks_never_overlap_within_a_session():
+    trace = AdobeTraceGenerator(seed=9, num_sessions=30, duration_hours=12.0).generate()
+    for session in trace:
+        tasks = sorted(session.tasks, key=lambda t: t.submit_time)
+        for first, second in zip(tasks, tasks[1:]):
+            assert second.submit_time >= first.end_time
+
+
+def test_gpu_cells_have_code_exercising_state_replication():
+    trace = AdobeTraceGenerator(seed=4, num_sessions=10, duration_hours=6.0).generate()
+    gpu_tasks = [t for t in trace.all_tasks if t.is_gpu_task]
+    assert gpu_tasks
+    assert all(task.code for task in gpu_tasks)
+    from repro.statesync import analyze_code
+
+    replicating = sum(1 for task in gpu_tasks
+                      if analyze_code(task.code).names_to_replicate)
+    assert replicating / len(gpu_tasks) > 0.9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generator_produces_valid_traces_property(seed):
+    trace = AdobeTraceGenerator(seed=seed, num_sessions=5, duration_hours=3.0).generate()
+    for session in trace:
+        assert session.end_time >= session.start_time
+        for task in session.tasks:
+            assert task.submit_time >= 0
+            assert task.duration >= 0
+            assert 0 <= task.gpu_utilization <= 1.0
+            assert task.gpus >= 0
