@@ -6,14 +6,22 @@ GPUs than Reservation while tracking the oracle much more closely, and they
 use a significantly higher fraction of the GPUs they do provision.
 """
 
-from benchmarks.common import print_header, print_rows, summer_result, summer_trace
+from benchmarks.common import cached_result, print_header, print_rows, summer_trace
+from repro.experiments import SweepGrid
 from repro.policies import oracle_gpu_timeline
 
 POLICIES = ("reservation", "notebookos", "lcp")
 
 
 def run():
-    return {policy: summer_result(policy) for policy in POLICIES}
+    """Expand the 90-day grid and run it through the experiment subsystem.
+
+    Results route through :func:`benchmarks.common.cached_result` so the
+    specs share the session-wide in-memory memo (and the disk store) with
+    the other 90-day figure modules.
+    """
+    grid = SweepGrid(scenario="summer", policies=POLICIES, seeds=(21,))
+    return {spec.policy: cached_result(spec) for spec in grid.expand()}
 
 
 def test_fig14_simulated_gpu_usage(benchmark):

@@ -7,13 +7,21 @@ TCTs follow the same ordering, with NotebookOS slightly above Reservation in
 the middle percentiles (oversubscription-induced migrations / waits).
 """
 
-from benchmarks.common import POLICIES, excerpt_result, print_header, print_rows
+from benchmarks.common import POLICIES, cached_result, print_header, print_rows
+from repro.experiments import SweepGrid
 
 PERCENTILES = (0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
 
 
 def run_all():
-    return {policy: excerpt_result(policy) for policy in POLICIES}
+    """Expand the 4-policy grid and run it through the experiment subsystem.
+
+    Results route through :func:`benchmarks.common.cached_result` so the
+    specs share the session-wide in-memory memo (and the disk store) with
+    every other figure module replaying the same excerpt.
+    """
+    grid = SweepGrid(scenario="excerpt", policies=POLICIES, seeds=(7,))
+    return {spec.policy: cached_result(spec) for spec in grid.expand()}
 
 
 def test_fig9_interactivity_and_tct(benchmark):

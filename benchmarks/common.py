@@ -1,9 +1,12 @@
 """Shared helpers for the benchmark harnesses.
 
 Every benchmark regenerates one table or figure from the paper's evaluation.
-The 17.5-hour prototype experiments (Figures 7-11, 15-19) all replay the same
-AdobeTrace excerpt under the four policies, so those runs are cached here and
-shared across benchmark modules.
+The experiment runs behind them are orchestrated by :mod:`repro.experiments`:
+each (scenario, policy, seed) triple resolves to a content-hashed
+:class:`~repro.experiments.ScenarioSpec`, results are cached in memory for
+the benchmark session *and* persisted to the on-disk result store, so
+re-running the suite (or any subset of figures) is served from cache.  Set
+``REPRO_RESULTS_DIR`` to relocate the store, or delete it to force reruns.
 
 Scale note: the paper's simulation study replays the full 90-day trace with
 up to 433 concurrent sessions.  To keep the benchmark suite runnable in
@@ -13,92 +16,92 @@ minutes on a laptop, the 90-day experiments here use a reduced session count
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro import run_experiment
-from repro.cluster.prewarmer import PrewarmPolicy
+from repro.experiments import (
+    EXCERPT_HOURS,
+    EXCERPT_SESSIONS,
+    SIMULATION_DAYS,
+    SIMULATION_SESSIONS,
+    ResultStore,
+    ScenarioSpec,
+    build_trace,
+    default_registry,
+    long_run_cluster_config,
+    long_run_platform_config,
+    run_spec,
+)
 from repro.core.config import ClusterConfig, PlatformConfig
 from repro.metrics.collector import ExperimentResult
-from repro.workload import AdobeTraceGenerator
 from repro.workload.trace import Trace
 
 # The policies compared in the prototype evaluation (§5.1.1).
 POLICIES = ("reservation", "batch", "notebookos", "lcp")
 
-EXCERPT_SESSIONS = 90          # Fig. 7: up to 90 concurrent sessions
-EXCERPT_HOURS = 17.5           # the 17.5-hour AdobeTrace excerpt
-SIMULATION_SESSIONS = 60       # scaled-down stand-in for the 433-session trace
-SIMULATION_DAYS = 90
-
-_EXCERPT_CACHE: Dict[str, ExperimentResult] = {}
+_RESULT_CACHE: Dict[str, ExperimentResult] = {}
 _TRACE_CACHE: Dict[str, Trace] = {}
+_STORE: Optional[ResultStore] = None
+
+
+def result_store() -> ResultStore:
+    """The on-disk result store shared by every benchmark module."""
+    global _STORE
+    if _STORE is None:
+        _STORE = ResultStore()
+    return _STORE
+
+
+def _cached_trace(spec: ScenarioSpec) -> Trace:
+    # Keyed on the spec's content hash, i.e. the *full* generator parameter
+    # set — not just (name, seed, sessions) — so knob overrides like
+    # work_bout_hours can never alias a cached trace.
+    key = spec.spec_hash()
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = build_trace(spec)
+    return _TRACE_CACHE[key]
+
+
+def cached_result(spec: ScenarioSpec) -> ExperimentResult:
+    """Run (or reuse) one spec: in-memory memo first, then the disk store."""
+    key = spec.spec_hash()
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = run_spec(spec, store=result_store()).result
+    return _RESULT_CACHE[key]
 
 
 def excerpt_trace(seed: int = 7) -> Trace:
     """The 17.5-hour AdobeTrace-style excerpt used by the prototype benches."""
-    key = f"excerpt-{seed}"
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = AdobeTraceGenerator(
-            seed=seed, num_sessions=EXCERPT_SESSIONS,
-            duration_hours=EXCERPT_HOURS).generate()
-    return _TRACE_CACHE[key]
+    return _cached_trace(default_registry().get("excerpt").instantiate(seed=seed))
 
 
-def summer_trace(seed: int = 21, num_sessions: int = SIMULATION_SESSIONS) -> Trace:
+def summer_trace(seed: int = 21, num_sessions: int = SIMULATION_SESSIONS,
+                 **generator_overrides) -> Trace:
     """A 90-day AdobeTrace-style trace for the simulation-study benches."""
-    key = f"summer-{seed}-{num_sessions}"
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = AdobeTraceGenerator(
-            seed=seed, num_sessions=num_sessions,
-            duration_hours=SIMULATION_DAYS * 24.0,
-            work_bout_hours=2.0, bouts_per_day=1.5).generate()
-    return _TRACE_CACHE[key]
+    spec = default_registry().get("summer").instantiate(
+        seed=seed, num_sessions=num_sessions, **generator_overrides)
+    return _cached_trace(spec)
 
 
 def excerpt_result(policy: str, seed: int = 7) -> ExperimentResult:
     """Run (or reuse) the 17.5-hour excerpt under ``policy``."""
-    key = f"{policy}-{seed}"
-    if key not in _EXCERPT_CACHE:
-        _EXCERPT_CACHE[key] = run_experiment(excerpt_trace(seed), policy=policy,
-                                             seed=seed)
-    return _EXCERPT_CACHE[key]
-
-
-_SUMMER_CACHE: Dict[str, ExperimentResult] = {}
+    return cached_result(
+        default_registry().get("excerpt").instantiate(policy=policy, seed=seed))
 
 
 def summer_result(policy: str, seed: int = 21) -> ExperimentResult:
     """Run (or reuse) the 90-day simulation-study trace under ``policy``."""
-    key = f"{policy}-{seed}"
-    if key not in _SUMMER_CACHE:
-        trace = summer_trace(seed)
-        _SUMMER_CACHE[key] = run_experiment(
-            trace, policy=policy, seed=seed,
-            platform_config=long_run_config(),
-            cluster_config=long_run_cluster(policy, trace))
-    return _SUMMER_CACHE[key]
+    return cached_result(
+        default_registry().get("summer").instantiate(policy=policy, seed=seed))
 
 
 def long_run_config() -> PlatformConfig:
     """Platform configuration tuned for multi-week simulated horizons."""
-    return PlatformConfig(
-        metrics_sample_interval_s=1800.0,
-        autoscaler_interval_s=600.0,
-        prewarm_policy=PrewarmPolicy(initial_per_host=1, min_per_host=1,
-                                     replenish_interval=1800.0))
+    return long_run_platform_config()
 
 
 def long_run_cluster(policy: str, trace: Trace) -> ClusterConfig:
     """Cluster sizing for the 90-day runs (mirrors run_experiment defaults)."""
-    peak = max((sum(s.gpus_requested for s in trace
-                    if s.start_time <= t < s.end_time)
-                for t in [trace.duration * f for f in (0.25, 0.5, 0.75, 0.999)]),
-               default=8)
-    if policy in ("notebookos", "lcp"):
-        initial = max(2, peak // 32)
-    else:
-        initial = max(2, peak // 8 + 2)
-    return ClusterConfig(initial_hosts=initial, max_hosts=max(80, initial * 4))
+    return long_run_cluster_config(policy, trace)
 
 
 def print_header(title: str) -> None:

@@ -6,15 +6,19 @@ Reservation, Batch, NotebookOS, and NotebookOS (LCP) — and prints the
 trade-off the paper's evaluation revolves around: GPU-hours provisioned
 versus interactivity.
 
+The four runs go through the ``repro.experiments`` subsystem: pass
+``--workers 4`` to run the policies in parallel processes, and re-run the
+script to be served from the on-disk result store (``.repro_results/`` by
+default; results are identical either way).
+
 Run with::
 
-    python examples/policy_comparison.py [--sessions N] [--hours H]
+    python examples/policy_comparison.py [--sessions N] [--hours H] [--workers W]
 """
 
 import argparse
 
-from repro import run_experiment
-from repro.workload import AdobeTraceGenerator
+from repro.experiments import ResultStore, SweepGrid, run_specs
 
 POLICIES = ("reservation", "batch", "notebookos", "lcp")
 
@@ -28,17 +32,23 @@ def main() -> None:
     parser.add_argument("--hours", type=float, default=6.0,
                         help="trace duration in hours (default 6)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the 4 policy runs")
+    parser.add_argument("--no-store", action="store_true",
+                        help="do not read or write the on-disk result store")
     args = parser.parse_args()
 
-    trace = AdobeTraceGenerator(seed=args.seed, num_sessions=args.sessions,
-                                duration_hours=args.hours).generate()
-    print(f"Workload: {len(trace)} sessions, {trace.total_task_count} cell tasks, "
-          f"{args.hours:.1f} hours\n")
+    grid = SweepGrid(scenario="excerpt", policies=POLICIES, seeds=(args.seed,),
+                     generator_grid={"num_sessions": [args.sessions],
+                                     "duration_hours": [args.hours]})
+    store = None if args.no_store else ResultStore()
+    outcomes = run_specs(grid.expand(), workers=args.workers, store=store,
+                         progress=print)
+    results = {outcome.spec.policy: outcome.result for outcome in outcomes}
 
-    results = {}
-    for policy in POLICIES:
-        print(f"Running policy {policy!r}...")
-        results[policy] = run_experiment(trace, policy=policy, seed=args.seed)
+    trace_tasks = sum(len(r.collector.tasks) for r in results.values()) // len(results)
+    print(f"\nWorkload: {args.sessions} sessions, ~{trace_tasks} cell tasks, "
+          f"{args.hours:.1f} hours")
 
     header = (f"{'policy':<14}{'GPU-hours':>12}{'saved vs Res.':>15}"
               f"{'interact p50 (s)':>18}{'interact p95 (s)':>18}{'TCT p50 (s)':>13}"
@@ -58,6 +68,9 @@ def main() -> None:
               f"{tct.percentile(0.5):>13.1f}"
               f"{result.migration_count():>12d}")
 
+    if store is not None:
+        print(f"\nresult store: {store.hits}/{len(outcomes)} cache hits "
+              f"({store.root.resolve()})")
     print("\nExpected shape (paper, Figures 8 and 9): Batch provisions the fewest "
           "GPUs but has the worst interactivity; Reservation has the best "
           "interactivity but the highest cost; NotebookOS matches Reservation's "

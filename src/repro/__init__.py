@@ -18,7 +18,10 @@ Notebook Platform for Interactive Training with On-Demand GPUs*
 * ``repro.workload`` — synthetic IDLT/BDLT trace generators calibrated to the
   published AdobeTrace / PhillyTrace / AlibabaTrace statistics;
 * ``repro.metrics`` / ``repro.analysis`` — the metrics, cost model, and
-  analysis helpers used to regenerate every figure in the paper.
+  analysis helpers used to regenerate every figure in the paper;
+* ``repro.experiments`` — named scenarios, parameter sweeps, a parallel
+  runner, and a persistent content-addressed result store (see
+  EXPERIMENTS.md; CLI: ``python -m repro.experiments``).
 
 Quickstart::
 

@@ -56,6 +56,17 @@ class Timeline:
             total += v0 * (t1 - t0)
         return total
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (used by the experiment result store).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"name": self.name, "points": [[t, v] for t, v in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Timeline":
+        return cls(name=data["name"],
+                   points=[(float(t), float(v)) for t, v in data["points"]])
+
 
 def resample(timeline: Timeline, start: float, end: float, step: float) -> Timeline:
     """Resample a timeline onto a regular grid (piecewise-constant hold)."""

@@ -8,7 +8,6 @@ and cleans up on termination.
 
 from __future__ import annotations
 
-from itertools import count
 from typing import Dict, List, Optional
 
 from repro.cluster.container import ContainerLatencyModel, ContainerRuntime
@@ -19,7 +18,6 @@ from repro.core.distributed_kernel import DistributedKernel, KernelReplica, Repl
 from repro.simulation.distributions import SeededRandom
 from repro.simulation.engine import Environment
 
-_REPLICA_IDS = count(1)
 
 
 class LocalScheduler:
@@ -81,7 +79,8 @@ class LocalScheduler:
         if container is None:
             container = yield self.env.process(
                 self.runtime.provision(kernel.resource_request, prewarmed=False))
-        replica_id = f"{kernel.kernel_id}-replica-{replica_index}-{next(_REPLICA_IDS)}"
+        replica_id = (f"{kernel.kernel_id}-replica-{replica_index}-"
+                      f"{self.env.next_serial('replica')}")
         container.assign(kernel.kernel_id, replica_id)
         replica = KernelReplica(replica_id=replica_id, kernel_id=kernel.kernel_id,
                                 replica_index=replica_index, host=self.host,

@@ -1,0 +1,191 @@
+"""Command-line interface for the experiment subsystem.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run <scenario> [--policy P] [--seed N]
+    python -m repro.experiments sweep --policies reservation,batch,notebookos,lcp \
+        --seeds 7,8,9 --workers 4
+
+``run`` and ``sweep`` persist results to the on-disk store (default
+``.repro_results/``, override with ``--store-dir`` or the
+``REPRO_RESULTS_DIR`` environment variable), so repeating a command is a
+cache hit.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import RunOutcome, run_specs
+from repro.experiments.scenarios import default_registry
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import SweepGrid
+
+SUMMARY_COLUMNS = ["scenario", "policy", "seed", "tasks", "interact_p50_s",
+                   "interact_p95_s", "tct_p50_s", "gpu_hours", "migrations",
+                   "source", "runtime_s"]
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(item) for item in _csv(text)]
+
+
+def _make_store(args) -> Optional[ResultStore]:
+    if getattr(args, "no_store", False):
+        return None
+    return ResultStore(args.store_dir)
+
+
+def _print_outcomes(outcomes: Sequence[RunOutcome]) -> None:
+    if not outcomes:
+        return
+    rows = []
+    for outcome in outcomes:
+        summary = outcome.result.summary()
+        rows.append({
+            "scenario": outcome.spec.scenario,
+            "policy": outcome.spec.policy,
+            "seed": outcome.spec.seed,
+            "tasks": summary["tasks_completed"],
+            "interact_p50_s": _round(summary["interactivity_p50_s"]),
+            "interact_p95_s": _round(summary["interactivity_p95_s"]),
+            "tct_p50_s": _round(summary["tct_p50_s"]),
+            "gpu_hours": summary["provisioned_gpu_hours"],
+            "migrations": summary["migrations"],
+            "source": "store" if outcome.cached else "run",
+            "runtime_s": round(outcome.runtime_s, 1),
+        })
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows))
+              for c in SUMMARY_COLUMNS}
+    header = "  ".join(c.ljust(widths[c]) for c in SUMMARY_COLUMNS)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in SUMMARY_COLUMNS))
+
+
+def _round(value, digits: int = 2):
+    return round(value, digits) if value is not None else "-"
+
+
+def _report_store(store: Optional[ResultStore], total: int) -> None:
+    if store is None:
+        return
+    print(f"\nstore: {store.hits}/{total} cache hits "
+          f"({store.root.resolve()})")
+
+
+def cmd_list(args) -> int:
+    registry = default_registry()
+    for scenario in registry:
+        kwargs = ", ".join(f"{k}={v}" for k, v in
+                           sorted(scenario.generator_kwargs.items()))
+        print(f"{scenario.name:<10} generator={scenario.generator} "
+              f"preset={scenario.config_preset} seed={scenario.default_seed}")
+        print(f"           {scenario.description}")
+        print(f"           knobs: {kwargs}")
+    store = ResultStore(args.store_dir)
+    entries = list(store.entries())
+    print(f"\nresult store: {store.root.resolve()} ({len(entries)} cached "
+          f"result{'s' if len(entries) != 1 else ''})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    scenario = default_registry().get(args.scenario)
+    spec = scenario.instantiate(policy=args.policy, seed=args.seed,
+                                num_sessions=args.sessions,
+                                duration_hours=args.hours)
+    store = _make_store(args)
+    outcomes = run_specs([spec], workers=1, store=store, progress=print)
+    _print_outcomes(outcomes)
+    _report_store(store, 1)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    generator_grid = {}
+    if args.sessions:
+        generator_grid["num_sessions"] = _csv_ints(args.sessions)
+    grid = SweepGrid(scenario=args.scenario, policies=_csv(args.policies),
+                     seeds=_csv_ints(args.seeds) or [None],
+                     generator_grid=generator_grid)
+    specs = grid.expand()
+    if not specs:
+        raise ValueError("empty sweep: --policies expanded to no runs")
+    print(f"sweep: {len(specs)} runs "
+          f"({len(grid.policies)} policies x {len(grid.seeds)} seeds"
+          + (f" x {generator_grid}" if generator_grid else "")
+          + f"), workers={args.workers}")
+    store = _make_store(args)
+    outcomes = run_specs(specs, workers=args.workers, store=store,
+                         progress=print)
+    print()
+    _print_outcomes(outcomes)
+    _report_store(store, len(specs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run and sweep NotebookOS reproduction experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store_args(p):
+        p.add_argument("--store-dir", default=None,
+                       help="result store directory (default .repro_results "
+                            "or $REPRO_RESULTS_DIR)")
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    add_store_args(p_list)
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one scenario once")
+    p_run.add_argument("scenario")
+    p_run.add_argument("--policy", default=None)
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--sessions", type=int, default=None,
+                       help="override the scenario's session count")
+    p_run.add_argument("--hours", type=float, default=None,
+                       help="override the scenario's duration (hours)")
+    p_run.add_argument("--no-store", action="store_true",
+                       help="do not read or write the result store")
+    add_store_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a policies x seeds grid")
+    p_sweep.add_argument("--scenario", default="excerpt")
+    p_sweep.add_argument("--policies", default="reservation,batch,notebookos,lcp")
+    p_sweep.add_argument("--seeds", default="7")
+    p_sweep.add_argument("--sessions", default=None,
+                         help="comma-separated session counts (extra grid axis)")
+    p_sweep.add_argument("--workers", type=int, default=1)
+    p_sweep.add_argument("--no-store", action="store_true",
+                         help="do not read or write the result store")
+    add_store_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as error:
+        # Unknown scenario/policy/preset or a malformed --seeds/--sessions
+        # list: the message already names the valid choices.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

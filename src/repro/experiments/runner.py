@@ -1,0 +1,129 @@
+"""The sweep runner: store-backed, parallel across processes, deterministic.
+
+Each :class:`ScenarioSpec` is an independent, fully seeded unit of work — the
+spec embeds the generator seed and the platform seed, and every random stream
+inside the simulator derives from them — so running N specs across a
+``ProcessPoolExecutor`` is embarrassingly parallel and *bit-identical* to
+running them serially.  To make that guarantee hold end to end, both paths
+materialize results through the same JSON round-trip
+(``ExperimentResult.to_dict`` in the worker, ``from_dict`` in the parent),
+which is also exactly what a store hit deserializes.
+
+Workers are handed plain spec dicts (cheap to pickle); traces are regenerated
+inside the worker from the spec's seed rather than shipped across the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.scenarios import ScenarioSpec, build_trace, resolve_configs
+from repro.experiments.store import ResultStore
+from repro.metrics.collector import ExperimentResult
+
+ProgressCallback = Callable[[str], None]
+
+
+@dataclass
+class RunOutcome:
+    """One finished (or cache-served) experiment."""
+
+    spec: ScenarioSpec
+    result: ExperimentResult
+    cached: bool
+    runtime_s: float
+
+
+def _execute_spec(spec_dict: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: run one spec and return the serialized result.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Determinism needs no extra per-worker seeding: the spec carries the seed,
+    and the simulator's randomness all flows from ``SeededRandom(seed)``.
+    """
+    from repro import run_experiment
+
+    spec = ScenarioSpec.from_dict(spec_dict)
+    trace = build_trace(spec)
+    platform_config, cluster_config = resolve_configs(spec, trace)
+    result = run_experiment(trace, policy=spec.policy, seed=spec.seed,
+                            platform_config=platform_config,
+                            cluster_config=cluster_config)
+    return result.to_dict()
+
+
+def run_specs(specs: Sequence[ScenarioSpec], workers: int = 1,
+              store: Optional[ResultStore] = None,
+              progress: Optional[ProgressCallback] = None) -> List[RunOutcome]:
+    """Run every spec, in order, returning one :class:`RunOutcome` each.
+
+    ``workers <= 1`` is the serial fallback; it produces bit-identical
+    metrics to any parallel run.  When ``store`` is given, specs already
+    present are served from disk and fresh results are persisted.  Duplicate
+    specs (same content hash) are executed once.
+    """
+    specs = list(specs)
+    total = len(specs)
+    outcomes: List[Optional[RunOutcome]] = [None] * total
+    done = 0
+
+    def report(index: int, outcome: RunOutcome) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            source = "cache hit" if outcome.cached \
+                else f"ran in {outcome.runtime_s:.1f}s"
+            progress(f"[{done}/{total}] {outcome.spec.label}: {source}")
+
+    # Serve store hits first; collect the distinct specs that must run.
+    to_run: Dict[str, List[int]] = {}
+    for index, spec in enumerate(specs):
+        cached = store.load(spec) if store is not None else None
+        if cached is not None:
+            outcomes[index] = RunOutcome(spec=spec, result=cached, cached=True,
+                                         runtime_s=0.0)
+            report(index, outcomes[index])
+        else:
+            to_run.setdefault(spec.spec_hash(), []).append(index)
+
+    def finish(spec_hash: str, result_dict: Dict[str, object],
+               runtime_s: float) -> None:
+        indices = to_run[spec_hash]
+        if store is not None:
+            store.save(specs[indices[0]], result_dict)
+        for index in indices:
+            outcomes[index] = RunOutcome(
+                spec=specs[index],
+                result=ExperimentResult.from_dict(result_dict),
+                cached=False, runtime_s=runtime_s)
+            report(index, outcomes[index])
+
+    if workers > 1 and len(to_run) > 1:
+        pending = {}
+        with ProcessPoolExecutor(max_workers=min(workers, len(to_run))) as pool:
+            for spec_hash, indices in to_run.items():
+                future = pool.submit(_execute_spec, specs[indices[0]].to_dict())
+                pending[future] = (spec_hash, time.monotonic())
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec_hash, submitted = pending.pop(future)
+                    finish(spec_hash, future.result(),
+                           time.monotonic() - submitted)
+    else:
+        for spec_hash, indices in to_run.items():
+            started = time.monotonic()
+            result_dict = _execute_spec(specs[indices[0]].to_dict())
+            finish(spec_hash, result_dict, time.monotonic() - started)
+
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def run_spec(spec: ScenarioSpec,
+             store: Optional[ResultStore] = None) -> RunOutcome:
+    """Run (or load) a single spec."""
+    return run_specs([spec], workers=1, store=store)[0]

@@ -1,0 +1,262 @@
+"""Scenario specs, config presets, and the named scenario registry.
+
+A :class:`Scenario` is a named, parameterized experiment template: a trace
+generator (referenced by its :mod:`repro.workload` registry name), default
+policy and seed, and a config preset describing how platform/cluster
+configurations are derived.  :meth:`Scenario.instantiate` binds the free
+parameters (policy, seed, generator overrides) and yields a
+:class:`ScenarioSpec` — plain, JSON-serializable data whose content hash is
+the cache key used by the result store.
+
+The paper's experiments are registered out of the box:
+
+* ``excerpt`` — the 17.5-hour AdobeTrace excerpt replayed by the prototype
+  evaluation (Figures 7-11 and 15-19);
+* ``summer``  — the 90-day summer simulation study (Figures 12-14 and 20),
+  scaled down in session count (see EXPERIMENTS.md);
+* ``smoke``   — a seconds-scale scenario for CI and quick sanity checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.cluster.prewarmer import PrewarmPolicy
+from repro.core.config import ClusterConfig, PlatformConfig
+from repro.workload.generator import make_generator
+from repro.workload.trace import Trace
+
+
+def stable_hash(payload: object, length: int = 16) -> str:
+    """A deterministic content hash of a JSON-serializable payload.
+
+    Keys are sorted so logically identical dicts hash identically regardless
+    of insertion order; the hash is stable across processes and sessions
+    (unlike ``hash()``, which is salted per process).
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]
+
+
+@dataclass
+class ScenarioSpec:
+    """One fully bound experiment: generator + policy + seed + configs.
+
+    The spec is pure data — it contains everything needed to deterministically
+    regenerate the trace and rerun the experiment, and nothing else.  Its
+    :meth:`spec_hash` is the content-addressed key under which results are
+    cached by :class:`repro.experiments.store.ResultStore`.
+    """
+
+    scenario: str
+    generator: str
+    policy: str
+    seed: int
+    generator_kwargs: Dict[str, object] = field(default_factory=dict)
+    config_preset: str = "default"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "generator": self.generator,
+            "policy": self.policy,
+            "seed": self.seed,
+            "generator_kwargs": dict(self.generator_kwargs),
+            "config_preset": self.config_preset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        return cls(scenario=data["scenario"], generator=data["generator"],
+                   policy=data["policy"], seed=data["seed"],
+                   generator_kwargs=dict(data["generator_kwargs"]),
+                   config_preset=data.get("config_preset", "default"))
+
+    def spec_hash(self) -> str:
+        return stable_hash(self.to_dict())
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario}/{self.policy}/seed{self.seed}"
+
+
+def build_trace(spec: ScenarioSpec) -> Trace:
+    """Deterministically generate the workload trace described by ``spec``."""
+    generator = make_generator(spec.generator, seed=spec.seed,
+                               **spec.generator_kwargs)
+    return generator.generate()
+
+
+# ----------------------------------------------------------------------
+# Config presets.
+#
+# Specs reference platform/cluster configuration by preset *name* so they
+# stay hashable data; the preset resolves to concrete config objects at run
+# time (deterministically — presets may inspect the trace, e.g. to size a
+# statically provisioned cluster to peak demand).
+# ----------------------------------------------------------------------
+ConfigResolver = Callable[[ScenarioSpec, Trace],
+                          Tuple[Optional[PlatformConfig], Optional[ClusterConfig]]]
+
+_CONFIG_PRESETS: Dict[str, ConfigResolver] = {}
+
+
+def register_config_preset(name: str, resolver: ConfigResolver,
+                           replace: bool = False) -> None:
+    if not replace and name in _CONFIG_PRESETS:
+        raise ValueError(f"config preset {name!r} is already registered")
+    _CONFIG_PRESETS[name] = resolver
+
+
+def resolve_configs(spec: ScenarioSpec, trace: Trace
+                    ) -> Tuple[Optional[PlatformConfig], Optional[ClusterConfig]]:
+    """Resolve a spec's config preset to (platform_config, cluster_config)."""
+    try:
+        resolver = _CONFIG_PRESETS[spec.config_preset]
+    except KeyError:
+        known = ", ".join(sorted(_CONFIG_PRESETS))
+        raise KeyError(f"unknown config preset {spec.config_preset!r} "
+                       f"(known: {known})") from None
+    return resolver(spec, trace)
+
+
+def _default_configs(spec: ScenarioSpec, trace: Trace):
+    # None lets run_experiment pick its per-policy defaults.
+    return None, None
+
+
+def long_run_platform_config() -> PlatformConfig:
+    """Platform configuration tuned for multi-week simulated horizons."""
+    return PlatformConfig(
+        metrics_sample_interval_s=1800.0,
+        autoscaler_interval_s=600.0,
+        prewarm_policy=PrewarmPolicy(initial_per_host=1, min_per_host=1,
+                                     replenish_interval=1800.0))
+
+
+def long_run_cluster_config(policy: str, trace: Trace) -> ClusterConfig:
+    """Cluster sizing for the 90-day runs (mirrors run_experiment defaults)."""
+    peak = max((sum(s.gpus_requested for s in trace
+                    if s.start_time <= t < s.end_time)
+                for t in [trace.duration * f for f in (0.25, 0.5, 0.75, 0.999)]),
+               default=8)
+    if policy in ("notebookos", "lcp"):
+        initial = max(2, peak // 32)
+    else:
+        initial = max(2, peak // 8 + 2)
+    return ClusterConfig(initial_hosts=initial, max_hosts=max(80, initial * 4))
+
+
+def _long_run_configs(spec: ScenarioSpec, trace: Trace):
+    return long_run_platform_config(), long_run_cluster_config(spec.policy, trace)
+
+
+register_config_preset("default", _default_configs)
+register_config_preset("long_run", _long_run_configs)
+
+
+# ----------------------------------------------------------------------
+# Scenarios and the registry.
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """A named, parameterized experiment template."""
+
+    name: str
+    description: str
+    generator: str = "adobe"
+    default_policy: str = "notebookos"
+    default_seed: int = 0
+    generator_kwargs: Dict[str, object] = field(default_factory=dict)
+    config_preset: str = "default"
+
+    def instantiate(self, policy: Optional[str] = None,
+                    seed: Optional[int] = None,
+                    **generator_overrides) -> ScenarioSpec:
+        """Bind the free parameters and return a runnable spec.
+
+        ``generator_overrides`` update the scenario's generator kwargs
+        (e.g. ``num_sessions=30``); ``None`` values are ignored so CLI
+        plumbing can pass optional flags straight through.
+        """
+        kwargs = dict(self.generator_kwargs)
+        kwargs.update({key: value for key, value in generator_overrides.items()
+                       if value is not None})
+        return ScenarioSpec(
+            scenario=self.name, generator=self.generator,
+            policy=policy or self.default_policy,
+            seed=self.default_seed if seed is None else seed,
+            generator_kwargs=kwargs, config_preset=self.config_preset)
+
+
+class ScenarioRegistry:
+    """Name -> :class:`Scenario` lookup."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario, replace: bool = False) -> Scenario:
+        if not replace and scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(sorted(self._scenarios)) or "<none>"
+            raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios[name] for name in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+
+# Scale knobs shared with the benchmark harnesses (see EXPERIMENTS.md).
+EXCERPT_SESSIONS = 90          # Fig. 7: up to 90 concurrent sessions
+EXCERPT_HOURS = 17.5           # the 17.5-hour AdobeTrace excerpt
+SIMULATION_SESSIONS = 60       # scaled-down stand-in for the 433-session trace
+SIMULATION_DAYS = 90
+
+_DEFAULT_REGISTRY: Optional[ScenarioRegistry] = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide registry with the paper's scenarios pre-registered."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        registry = ScenarioRegistry()
+        registry.register(Scenario(
+            name="excerpt",
+            description="17.5-hour AdobeTrace excerpt, 90 sessions "
+                        "(prototype evaluation, Figs. 7-11 and 15-19)",
+            generator="adobe", default_seed=7,
+            generator_kwargs={"num_sessions": EXCERPT_SESSIONS,
+                              "duration_hours": EXCERPT_HOURS}))
+        registry.register(Scenario(
+            name="summer",
+            description="90-day summer trace, scaled to 60 sessions "
+                        "(simulation study, Figs. 12-14 and 20)",
+            generator="adobe", default_seed=21,
+            generator_kwargs={"num_sessions": SIMULATION_SESSIONS,
+                              "duration_hours": SIMULATION_DAYS * 24.0,
+                              "work_bout_hours": 2.0,
+                              "bouts_per_day": 1.5},
+            config_preset="long_run"))
+        registry.register(Scenario(
+            name="smoke",
+            description="12 sessions over 2 hours — seconds-scale sanity "
+                        "check used by CI",
+            generator="adobe", default_seed=7,
+            generator_kwargs={"num_sessions": 12, "duration_hours": 2.0}))
+        _DEFAULT_REGISTRY = registry
+    return _DEFAULT_REGISTRY

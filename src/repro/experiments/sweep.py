@@ -1,0 +1,51 @@
+"""Parameter-grid expansion: one scenario x policies x seeds x knobs.
+
+A :class:`SweepGrid` describes the experiment matrix the paper's evaluation
+runs (policies x seeds, optionally x generator knobs such as session count)
+and expands it into concrete :class:`ScenarioSpec` instances in a stable,
+deterministic order: policies vary slowest, then seeds, then generator-knob
+combinations in sorted key order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.scenarios import (
+    ScenarioRegistry,
+    ScenarioSpec,
+    default_registry,
+)
+
+
+@dataclass
+class SweepGrid:
+    """A parameter grid over one named scenario."""
+
+    scenario: str
+    policies: Sequence[str] = ("notebookos",)
+    seeds: Sequence[int] = (None,)  # None = the scenario's default seed
+    generator_grid: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    def size(self) -> int:
+        total = len(self.policies) * len(self.seeds)
+        for values in self.generator_grid.values():
+            total *= len(values)
+        return total
+
+    def expand(self, registry: Optional[ScenarioRegistry] = None
+               ) -> List[ScenarioSpec]:
+        """Expand the grid into scenario specs (deterministic order)."""
+        scenario = (registry or default_registry()).get(self.scenario)
+        axes = sorted(self.generator_grid.items())
+        keys = [key for key, _ in axes]
+        combos = list(itertools.product(*(values for _, values in axes)))
+        specs: List[ScenarioSpec] = []
+        for policy in self.policies:
+            for seed in self.seeds:
+                for combo in combos:
+                    specs.append(scenario.instantiate(
+                        policy=policy, seed=seed, **dict(zip(keys, combo))))
+        return specs

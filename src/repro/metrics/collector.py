@@ -86,6 +86,36 @@ class TaskMetrics:
             return None
         return self.completed_at - self.started_at
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "session_id": self.session_id,
+            "kernel_id": self.kernel_id,
+            "submitted_at": self.submitted_at,
+            "gpus": self.gpus,
+            "is_gpu_task": self.is_gpu_task,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "status": self.status,
+            "executor_replica": self.executor_replica,
+            "required_migration": self.required_migration,
+            "steps": self.steps.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TaskMetrics":
+        return cls(
+            session_id=data["session_id"],
+            kernel_id=data["kernel_id"],
+            submitted_at=data["submitted_at"],
+            gpus=data["gpus"],
+            is_gpu_task=data["is_gpu_task"],
+            started_at=data["started_at"],
+            completed_at=data["completed_at"],
+            status=data["status"],
+            executor_replica=data["executor_replica"],
+            required_migration=data["required_migration"],
+            steps=StepLatencies.from_dict(data["steps"]))
+
 
 class MetricsCollector:
     """Accumulates every measurement from one experiment run."""
@@ -173,6 +203,46 @@ class MetricsCollector:
             return 0.0
         return self.same_executor_count / self.executor_decisions
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (used by the experiment result store).
+    # ------------------------------------------------------------------
+    _TIMELINE_FIELDS = ("provisioned_gpus", "committed_gpus", "active_sessions",
+                       "active_trainings", "subscription_ratio",
+                       "provisioned_hosts")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sample_interval": self.sample_interval,
+            "tasks": [task.to_dict() for task in self.tasks],
+            "events": [[e.time, e.kind.value, e.detail] for e in self.events],
+            "timelines": {name: getattr(self, name).to_dict()
+                          for name in self._TIMELINE_FIELDS},
+            "datastore_read_latencies": list(self.datastore_read_latencies),
+            "datastore_write_latencies": list(self.datastore_write_latencies),
+            "raft_sync_latencies": list(self.raft_sync_latencies),
+            "gpu_bind_count": self.gpu_bind_count,
+            "immediate_gpu_commit_count": self.immediate_gpu_commit_count,
+            "same_executor_count": self.same_executor_count,
+            "executor_decisions": self.executor_decisions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsCollector":
+        collector = cls(sample_interval=data["sample_interval"])
+        collector.tasks = [TaskMetrics.from_dict(t) for t in data["tasks"]]
+        collector.events = [PlatformEvent(time=t, kind=EventKind(kind), detail=detail)
+                            for t, kind, detail in data["events"]]
+        for name in cls._TIMELINE_FIELDS:
+            setattr(collector, name, Timeline.from_dict(data["timelines"][name]))
+        collector.datastore_read_latencies = list(data["datastore_read_latencies"])
+        collector.datastore_write_latencies = list(data["datastore_write_latencies"])
+        collector.raft_sync_latencies = list(data["raft_sync_latencies"])
+        collector.gpu_bind_count = data["gpu_bind_count"]
+        collector.immediate_gpu_commit_count = data["immediate_gpu_commit_count"]
+        collector.same_executor_count = data["same_executor_count"]
+        collector.executor_decisions = data["executor_decisions"]
+        return collector
+
 
 @dataclass
 class ExperimentResult:
@@ -206,6 +276,25 @@ class ExperimentResult:
 
     def scale_out_count(self) -> int:
         return len(self.collector.events_of_kind(EventKind.SCALE_OUT))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "trace_name": self.trace_name,
+            "collector": self.collector.to_dict(),
+            "wall_clock_runtime": self.wall_clock_runtime,
+            "breakdown": self.breakdown.to_dict() if self.breakdown else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        breakdown = data.get("breakdown")
+        return cls(
+            policy=data["policy"],
+            trace_name=data["trace_name"],
+            collector=MetricsCollector.from_dict(data["collector"]),
+            wall_clock_runtime=data.get("wall_clock_runtime", 0.0),
+            breakdown=LatencyBreakdown.from_dict(breakdown) if breakdown else None)
 
     def summary(self) -> Dict[str, object]:
         """The headline row the benchmarks print for this policy."""

@@ -49,6 +49,14 @@ class StepLatencies:
     def end_to_end(self) -> float:
         return sum(self.steps.values())
 
+    def to_dict(self) -> Dict[str, float]:
+        return dict(self.steps)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "StepLatencies":
+        return cls(steps={str(step): float(latency)
+                          for step, latency in data.items()})
+
 
 @dataclass
 class LatencyBreakdown:
@@ -78,3 +86,13 @@ class LatencyBreakdown:
             cdf = self.cdf_for(step)
             rows[step] = cdf.summary() if not cdf.is_empty else {"count": 0}
         return rows
+
+    def to_dict(self) -> dict:
+        return {"policy": self.policy,
+                "samples": [sample.to_dict() for sample in self.samples]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyBreakdown":
+        return cls(policy=data["policy"],
+                   samples=[StepLatencies.from_dict(sample)
+                            for sample in data["samples"]])

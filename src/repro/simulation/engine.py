@@ -122,6 +122,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = count()
+        self._serials: dict[str, int] = {}
         self._active_process: Optional[Process] = None
 
     @property
@@ -155,6 +156,20 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past: {delay}")
         heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def next_serial(self, category: str = "") -> int:
+        """A per-environment monotonic serial for ``category`` (1, 2, 3, ...).
+
+        Identifiers minted from process-global counters embed the process's
+        prior run history, so two runs of the same seeded experiment produce
+        different ID strings depending on what ran before them.  Simulation
+        components mint IDs from here instead: serials are scoped to one
+        environment, keeping every run's output identical whether it executes
+        first or fiftieth, serially or in a worker process.
+        """
+        value = self._serials.get(category, 0) + 1
+        self._serials[category] = value
+        return value
 
     # ------------------------------------------------------------------
     # Execution.

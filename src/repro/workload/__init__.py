@@ -30,6 +30,9 @@ from repro.workload.generator import (
     AdobeTraceGenerator,
     AlibabaTraceGenerator,
     PhillyTraceGenerator,
+    generator_names,
+    make_generator,
+    register_generator,
 )
 from repro.workload.characterization import (
     TraceCharacterization,
@@ -52,4 +55,7 @@ __all__ = [
     "WorkloadAssignment",
     "assign_workload",
     "characterize_trace",
+    "generator_names",
+    "make_generator",
+    "register_generator",
 ]

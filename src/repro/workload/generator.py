@@ -27,7 +27,7 @@ that with per-session activity bursts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.simulation.distributions import PiecewiseCDFSampler, SeededRandom
 from repro.workload.models import assign_workload
@@ -310,3 +310,40 @@ class AlibabaTraceGenerator(_BatchTraceGenerator):
     trace_name = "alibaba"
     duration_knots = ALIBABA_DURATION_KNOTS
     iat_knots = ALIBABA_IAT_KNOTS
+
+
+# ----------------------------------------------------------------------
+# Generator registry.
+#
+# The experiment subsystem (``repro.experiments``) references generators by
+# name so scenario specs stay plain JSON-serializable data.  Third-party
+# generators can hook in with :func:`register_generator`.
+# ----------------------------------------------------------------------
+_GENERATOR_REGISTRY: Dict[str, Type[_BaseTraceGenerator]] = {}
+
+
+def register_generator(name: str, generator_cls: Type[_BaseTraceGenerator],
+                       replace: bool = False) -> None:
+    """Register a trace generator class under ``name``."""
+    if not replace and name in _GENERATOR_REGISTRY:
+        raise ValueError(f"generator {name!r} is already registered")
+    _GENERATOR_REGISTRY[name] = generator_cls
+
+
+def make_generator(name: str, **kwargs) -> _BaseTraceGenerator:
+    """Instantiate the registered generator ``name`` with ``kwargs``."""
+    try:
+        generator_cls = _GENERATOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATOR_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown trace generator {name!r} (known: {known})") from None
+    return generator_cls(**kwargs)
+
+
+def generator_names() -> List[str]:
+    return sorted(_GENERATOR_REGISTRY)
+
+
+register_generator("adobe", AdobeTraceGenerator)
+register_generator("philly", PhillyTraceGenerator)
+register_generator("alibaba", AlibabaTraceGenerator)
