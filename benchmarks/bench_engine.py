@@ -1,0 +1,354 @@
+"""Engine microbenchmark: events/sec, fast path vs the frozen seed engine.
+
+Runs an identical discrete-event workload against the current engine
+(``repro.simulation.engine``) and the pre-fast-path seed engine
+(``benchmarks/legacy_engine.py``, a frozen copy) in the same process, and
+reports events-per-second for both plus the speedup.  The full run also
+times the ``smoke`` and ``cluster_scale`` scenarios end to end and verifies
+that serial and parallel ``cluster_scale`` runs are bit-identical.
+
+Results land in ``BENCH_engine.json`` next to this file (override with
+``--output``).  CI runs ``--smoke --check``, which re-measures the micro
+speedup and fails on a >20 % events/sec regression against the committed
+baseline.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src:. python benchmarks/bench_engine.py --smoke    # micro only
+    PYTHONPATH=src:. python benchmarks/bench_engine.py --smoke --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_OUTPUT = Path(__file__).with_name("BENCH_engine.json")
+
+# Allowed events/sec regression before --check fails (the 20 % gate from the
+# CI contract, on the machine-independent current/legacy speedup ratio).
+REGRESSION_TOLERANCE = 0.20
+
+# Workload sizes: large enough that per-run noise stays in the low single
+# digits, small enough that --smoke finishes in seconds.
+TIMEOUT_PROCS, TIMEOUT_TICKS = 200, 400
+CHURN_PARENTS, CHURN_CHILDREN, CHURN_DEPTH = 60, 8, 40
+SIGNAL_CHAINS, SIGNAL_ROUNDS = 150, 150
+INTERRUPT_PAIRS, INTERRUPT_ROUNDS = 100, 80
+DELIVERY_SENDERS, DELIVERY_ROUNDS, DELIVERY_FANOUT = 60, 60, 12
+REPEATS = 5
+
+
+# ----------------------------------------------------------------------
+# Workloads.  Each takes an engine module (current or legacy) plus a
+# ``fast_sleep`` flag, drives a deterministic event pattern, and returns the
+# nominal number of "useful" events — identical for both engines, so the
+# rates are comparable.
+#
+# With ``fast_sleep`` the process bodies sleep with the engine's new
+# ``yield delay`` idiom; without it they use the seed engine's
+# ``yield env.timeout(delay)``.  The simulator's own loops were converted to
+# the new idiom in the same PR that added it, and the golden-metrics tests
+# pin that both forms produce identical schedules — so each engine is
+# measured exactly as the simulator drives it, on the same semantic
+# workload (same ticks, hand-offs, interrupts, timestamps).
+# ----------------------------------------------------------------------
+def workload_timeout_storm(engine, fast_sleep) -> int:
+    """Periodic loops: the sampler / autoscaler / Raft-tick pattern."""
+    env = engine.Environment()
+
+    if fast_sleep:
+        def ticker(i):
+            delay = 1.0 + (i % 7) * 0.1
+            for _ in range(TIMEOUT_TICKS):
+                yield delay
+    else:
+        def ticker(i):
+            delay = 1.0 + (i % 7) * 0.1
+            for _ in range(TIMEOUT_TICKS):
+                yield env.timeout(delay)
+
+    for i in range(TIMEOUT_PROCS):
+        env.process(ticker(i))
+    env.run()
+    return TIMEOUT_PROCS * TIMEOUT_TICKS
+
+
+def workload_process_churn(engine, fast_sleep) -> int:
+    """Short-lived child processes: the per-task execute/wait pattern.
+
+    Each child mirrors a policy execute chain — request ingress, execution,
+    reply egress — as three sequential sleeps, and a parent fans out a batch
+    of children per round and joins them with ``AllOf`` the way the platform
+    joins replica starts.
+    """
+    env = engine.Environment()
+
+    if fast_sleep:
+        def child(delay):
+            yield 0.004          # request ingress hops
+            yield delay          # cell execution
+            yield 0.003          # reply egress hops
+            return delay
+    else:
+        def child(delay):
+            yield env.timeout(0.004)
+            yield env.timeout(delay)
+            yield env.timeout(0.003)
+            return delay
+
+    def parent(i):
+        for _ in range(CHURN_DEPTH):
+            children = [env.process(child(0.5 + ((i + j) % 5) * 0.1))
+                        for j in range(CHURN_CHILDREN)]
+            yield engine.AllOf(env, children)
+
+    for i in range(CHURN_PARENTS):
+        env.process(parent(i))
+    env.run()
+    return CHURN_PARENTS * CHURN_DEPTH * CHURN_CHILDREN * 3
+
+
+def workload_signal_chain(engine, fast_sleep) -> int:
+    """Event hand-offs: the message-delivery / store-get pattern."""
+    env = engine.Environment()
+
+    def sink(box):
+        for _ in range(SIGNAL_ROUNDS):
+            yield box[0]
+            box[0] = env.event()
+
+    if fast_sleep:
+        def source(box):
+            for round_no in range(SIGNAL_ROUNDS):
+                event = box[0]
+                event.succeed(round_no)
+                yield 1.0
+    else:
+        def source(box):
+            for round_no in range(SIGNAL_ROUNDS):
+                event = box[0]
+                event.succeed(round_no)
+                yield env.timeout(1.0)
+
+    for _ in range(SIGNAL_CHAINS):
+        box = [env.event()]
+        env.process(sink(box))    # registers on box[0] before source fires it
+        env.process(source(box))
+    env.run()
+    return SIGNAL_CHAINS * SIGNAL_ROUNDS * 2  # one signal + one timeout per round
+
+
+def workload_interrupt_mix(engine, fast_sleep) -> int:
+    """Sleep / interrupt / recover: the migration & reclamation pattern."""
+    env = engine.Environment()
+
+    if fast_sleep:
+        def sleeper():
+            while True:
+                try:
+                    yield 1000.0
+                except engine.Interrupt:
+                    yield 0.5
+
+        def waker(target):
+            for _ in range(INTERRUPT_ROUNDS):
+                yield 1.0
+                target.interrupt("tick")
+    else:
+        def sleeper():
+            while True:
+                try:
+                    yield env.timeout(1000.0)
+                except engine.Interrupt:
+                    yield env.timeout(0.5)
+
+        def waker(target):
+            for _ in range(INTERRUPT_ROUNDS):
+                yield env.timeout(1.0)
+                target.interrupt("tick")
+
+    for _ in range(INTERRUPT_PAIRS):
+        target = env.process(sleeper())
+        env.process(waker(target))
+    env.run(until=INTERRUPT_ROUNDS * 1.0 + 10.0)
+    return INTERRUPT_PAIRS * INTERRUPT_ROUNDS * 2
+
+
+def workload_message_delivery(engine, fast_sleep) -> int:
+    """Scheduled callbacks: the network message-delivery pattern.
+
+    Pre-PR, ``Network.send`` scheduled every message as
+    ``env.timeout(latency).add_callback(deliver)``; the fast path replaced
+    that with ``env.defer(latency, deliver)``.  Each engine is measured with
+    the delivery idiom its ``Network`` actually used.
+    """
+    env = engine.Environment()
+    delivered = []
+    deliver = delivered.append  # stands in for Network._deliver -> inbox.put
+
+    if fast_sleep:
+        def sender(i):
+            for _ in range(DELIVERY_ROUNDS):
+                for k in range(DELIVERY_FANOUT):
+                    env.defer(0.0005 * (k + 1), deliver)
+                yield 1.0 + i * 0.01
+    else:
+        def sender(i):
+            for _ in range(DELIVERY_ROUNDS):
+                for k in range(DELIVERY_FANOUT):
+                    env.timeout(0.0005 * (k + 1)).add_callback(deliver)
+                yield env.timeout(1.0 + i * 0.01)
+
+    for i in range(DELIVERY_SENDERS):
+        env.process(sender(i))
+    env.run()
+    expected = DELIVERY_SENDERS * DELIVERY_ROUNDS * DELIVERY_FANOUT
+    if len(delivered) != expected:
+        raise AssertionError(f"delivered {len(delivered)} != {expected}")
+    return expected
+
+
+WORKLOADS = {
+    "timeout_storm": workload_timeout_storm,
+    "process_churn": workload_process_churn,
+    "signal_chain": workload_signal_chain,
+    "interrupt_mix": workload_interrupt_mix,
+    "message_delivery": workload_message_delivery,
+}
+
+
+def run_micro() -> dict:
+    """Best-of-N events/sec per workload and engine, plus aggregate rates.
+
+    Legacy and current timings are interleaved repeat by repeat, so slow
+    drift in machine load (CI runners, laptops on battery) biases the two
+    engines equally instead of skewing the ratio.
+    """
+    import benchmarks.legacy_engine as legacy_engine
+    import repro.simulation as current_engine  # exports Environment/AllOf/Interrupt
+
+    engines = {"legacy": (legacy_engine, False),
+               "current": (current_engine, True)}
+    best: dict = {side: {} for side in engines}
+    for name, workload in WORKLOADS.items():
+        for _ in range(REPEATS):
+            for side, (engine, fast_sleep) in engines.items():
+                started = time.perf_counter()
+                events = workload(engine, fast_sleep)
+                elapsed = time.perf_counter() - started
+                current_best = best[side].get(name)
+                if current_best is None or elapsed < current_best[1]:
+                    best[side][name] = (events, elapsed)
+
+    rates = {}
+    for side in engines:
+        per_workload = {name: events / elapsed
+                        for name, (events, elapsed) in best[side].items()}
+        per_workload["aggregate"] = (
+            sum(events for events, _ in best[side].values())
+            / sum(elapsed for _, elapsed in best[side].values()))
+        rates[side] = per_workload
+    speedup = {name: rates["current"][name] / rates["legacy"][name]
+               for name in rates["current"]}
+    return {"events_per_sec": rates, "speedup": speedup}
+
+
+# ----------------------------------------------------------------------
+# Scenario wall-clock timings (full run only).
+# ----------------------------------------------------------------------
+def run_scenarios() -> dict:
+    from repro.experiments import default_registry
+    from repro.experiments.runner import run_specs
+
+    registry = default_registry()
+    timings: dict = {}
+
+    started = time.perf_counter()
+    run_specs([registry.get("smoke").instantiate()], workers=1, store=None)
+    timings["smoke"] = {"serial_s": round(time.perf_counter() - started, 2)}
+
+    # Two cluster_scale seeds: enough to exercise the process pool and to
+    # check serial-vs-parallel bit-identity on the stress scenario.
+    specs = [registry.get("cluster_scale").instantiate(seed=seed)
+             for seed in (3, 4)]
+
+    started = time.perf_counter()
+    serial = run_specs(specs, workers=1, store=None)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_specs(specs, workers=2, store=None)
+    parallel_s = time.perf_counter() - started
+
+    identical = all(
+        json.dumps(a.result.to_dict()["collector"], sort_keys=True) ==
+        json.dumps(b.result.to_dict()["collector"], sort_keys=True)
+        for a, b in zip(serial, parallel))
+    if not identical:
+        raise AssertionError(
+            "cluster_scale serial and parallel runs are not bit-identical")
+    timings["cluster_scale"] = {
+        "specs": [spec.label for spec in specs],
+        "serial_s": round(serial_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "serial_parallel_bit_identical": identical,
+    }
+    return timings
+
+
+def check_regression(measured_speedup: float, baseline_path: Path) -> int:
+    """Fail (non-zero) on a >20 % events/sec regression vs the baseline."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        baseline_speedup = baseline["micro"]["speedup"]["aggregate"]
+    except (OSError, ValueError, KeyError):
+        print(f"check: no committed baseline at {baseline_path}; "
+              f"requiring the 2x acceptance floor instead")
+        baseline_speedup = 2.0
+    floor = baseline_speedup * (1.0 - REGRESSION_TOLERANCE)
+    verdict = "ok" if measured_speedup >= floor else "REGRESSION"
+    print(f"check: aggregate speedup {measured_speedup:.2f}x vs baseline "
+          f"{baseline_speedup:.2f}x (floor {floor:.2f}x): {verdict}")
+    return 0 if measured_speedup >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="micro benchmark only; skip the scenario timings")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed BENCH_engine.json "
+                             "and exit non-zero on a >20%% regression "
+                             "(does not overwrite the baseline)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    micro = run_micro()
+    for name in (*WORKLOADS, "aggregate"):
+        print(f"{name:>15}: "
+              f"legacy {micro['events_per_sec']['legacy'][name]:>12,.0f} ev/s   "
+              f"current {micro['events_per_sec']['current'][name]:>12,.0f} ev/s   "
+              f"{micro['speedup'][name]:.2f}x")
+
+    if args.check:
+        return check_regression(micro["speedup"]["aggregate"], args.output)
+
+    results = {"micro": micro}
+    if not args.smoke:
+        results["scenarios"] = run_scenarios()
+        for scenario, timing in results["scenarios"].items():
+            print(f"{scenario}: {timing}")
+
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Frozen copy of the seed discrete-event engine (pre-fast-path).
+
+This module is the *baseline* side of ``benchmarks/bench_engine.py``: it is
+the event/engine implementation exactly as it shipped before the fast-path
+overhaul (per-event callback-list allocation, a bootstrap ``Event`` per
+process, and ``(time, serial, event)`` tuples in the heap), merged into one
+self-contained module so the microbenchmark can run the identical workload
+against both implementations in the same process and report an honest
+events-per-second ratio.
+
+Do not "fix" or optimize this file — its whole value is staying frozen.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable event (seed implementation)."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env.schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` simulation time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionEvent(Event):
+    """Base class for events composed of several child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._completed: dict[Event, Any] = {}
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)
+            return
+        self._completed[event] = event.value
+        if self._is_satisfied():
+            self.succeed(dict(self._completed))
+
+    def _is_satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    def _is_satisfied(self) -> bool:
+        return len(self._completed) == len(self.events)
+
+
+class AnyOf(ConditionEvent):
+    def _is_satisfied(self) -> bool:
+        return len(self._completed) >= 1
+
+
+class Process(Event):
+    """A running simulation process (seed implementation)."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        if not self.is_alive:
+            return
+        interrupt_event = Event(self.env)
+        interrupt_event.succeed(Interrupt(cause))
+        interrupt_event.defused = True  # noqa: B010 - seed behaviour
+        interrupt_event.add_callback(self._resume_with_interrupt)
+
+    def _resume_with_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._step(throw=event.value)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event._exception)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        self.env._active_process = self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except Interrupt as interrupt:
+            self._finish(exception=interrupt)
+            return
+        except BaseException as exc:
+            self._finish(exception=exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        self._waiting_on = None
+        if self._triggered:
+            return
+        if exception is not None:
+            self.fail(exception)
+        else:
+            self.succeed(value)
+
+
+class Environment:
+    """Owns simulation time and the scheduled-event heap (seed implementation)."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = count()
+        self._serials: dict[str, int] = {}
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def next_serial(self, category: str = "") -> int:
+        value = self._serials.get(category, 0) + 1
+        self._serials[category] = value
+        return value
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise SimulationError(
+                f"cannot run until {limit}: simulation time is already {self._now}")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        if limit != float("inf"):
+            self._now = limit
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        while not until.processed:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event triggered")
+            self.step()
+        return until.value
+
+    def run_all(self, processes: Iterable[Process]) -> list[Any]:
+        results = []
+        for process in processes:
+            results.append(self.run(until=process))
+        return results

@@ -142,7 +142,7 @@ class ContainerRuntime:
         else:
             delay = self.latency_model.cold_start(self._rng)
             self.cold_starts += 1
-        yield self.env.timeout(delay + self.latency_model.registration_time)
+        yield delay + self.latency_model.registration_time
         if container.state == ContainerState.PROVISIONING:
             container.state = ContainerState.WARM
         container.started_at = self.env.now
@@ -150,7 +150,7 @@ class ContainerRuntime:
 
     def terminate(self, container: Container):
         """Simulation process: terminate a container."""
-        yield self.env.timeout(self.latency_model.termination_time)
+        yield self.latency_model.termination_time
         container.terminate(self.env.now)
         self.containers.pop(container.container_id, None)
         self.terminations += 1

@@ -110,7 +110,7 @@ class DistributedDataStore:
         start = self.env.now
         latency = self.backend.request_latency(self._rng)
         latency += size_bytes / self.backend.write_bandwidth_bytes_per_s
-        yield self.env.timeout(latency)
+        yield latency
         existing = self._objects.get(key)
         version = existing.version + 1 if existing else 1
         stored = StoredObject(key=key, size_bytes=size_bytes, owner=owner,
@@ -131,13 +131,13 @@ class DistributedDataStore:
             raise KeyError(f"object {key!r} not found in the data store")
         if node_id is not None and self._cache_has(node_id, key):
             self.cache_hits += 1
-            yield self.env.timeout(0.001)
+            yield 0.001
             self.read_latencies.append(self.env.now - start)
             return stored
         self.cache_misses += 1
         latency = self.backend.request_latency(self._rng)
         latency += stored.size_bytes / self.backend.read_bandwidth_bytes_per_s
-        yield self.env.timeout(latency)
+        yield latency
         self.bytes_read += stored.size_bytes
         self.read_latencies.append(self.env.now - start)
         if node_id is not None:

@@ -56,6 +56,14 @@ class Host:
         # kernel_id -> GPUs actively committed to a running training task.
         self._active_trainings: Dict[str, int] = {}
         self.containers: Dict[str, object] = {}
+        # The ClusterState this host reports aggregate deltas to (set via
+        # attach_cluster); lets the metrics sampler read cluster totals in
+        # O(1) instead of re-scanning every host each interval.
+        self._cluster = None
+
+    def attach_cluster(self, cluster) -> None:
+        """Register the ClusterState that receives this host's deltas."""
+        self._cluster = cluster
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -66,6 +74,11 @@ class Host:
 
     def decommission(self, now: float) -> None:
         if self.decommissioned_at is None:
+            if self._cluster is not None:
+                # Must fire while still marked active, before the timestamp
+                # flips is_active, so the cluster subtracts exactly what this
+                # host was contributing.
+                self._cluster._host_deactivated(self)
             self.decommissioned_at = now
 
     # ------------------------------------------------------------------
@@ -79,10 +92,14 @@ class Host:
     def subscribe(self, kernel_id: str, gpus: int) -> None:
         """Record that a replica of ``kernel_id`` subscribes ``gpus`` GPUs."""
         self._subscriptions[kernel_id] = self._subscriptions.get(kernel_id, 0) + gpus
+        if self._cluster is not None and self.decommissioned_at is None:
+            self._cluster._subscribed_delta(gpus)
 
     def unsubscribe(self, kernel_id: str) -> None:
         """Remove the subscription of ``kernel_id`` (replica removed)."""
-        self._subscriptions.pop(kernel_id, None)
+        removed = self._subscriptions.pop(kernel_id, 0)
+        if removed and self._cluster is not None and self.decommissioned_at is None:
+            self._cluster._subscribed_delta(-removed)
 
     def has_subscription(self, kernel_id: str) -> bool:
         return kernel_id in self._subscriptions
@@ -119,13 +136,18 @@ class Host:
     def bind_gpus(self, kernel_id: str, count: int, now: float) -> list[int]:
         """Exclusively bind ``count`` GPUs to ``kernel_id`` for a cell task."""
         device_ids = self.gpus.allocate(kernel_id, count, now)
+        previous = self._active_trainings.get(kernel_id, 0)
         self._active_trainings[kernel_id] = count
+        if self._cluster is not None and self.decommissioned_at is None:
+            self._cluster._committed_delta(count - previous)
         return device_ids
 
     def release_gpus(self, kernel_id: str, now: float) -> int:
         """Release all GPUs bound to ``kernel_id``."""
         released = self.gpus.release(kernel_id, now)
-        self._active_trainings.pop(kernel_id, None)
+        removed = self._active_trainings.pop(kernel_id, 0)
+        if removed and self._cluster is not None and self.decommissioned_at is None:
+            self._cluster._committed_delta(-removed)
         return released
 
     @property

@@ -120,7 +120,7 @@ class ContainerPrewarmer:
 
     def _maintenance_loop(self):
         while True:
-            yield self.env.timeout(self.policy.replenish_interval)
+            yield self.policy.replenish_interval
             for host_id in list(self._runtimes):
                 deficit = self.policy.min_per_host - self.available(host_id)
                 for _ in range(max(0, deficit)):

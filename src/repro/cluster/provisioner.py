@@ -80,7 +80,7 @@ class VMProvisioner:
         self.requests.append(request)
         boot_time = max(20.0, self._rng.lognormvariate(
             math.log(self.boot_time_mean), self.boot_time_sigma))
-        yield self.env.timeout(boot_time)
+        yield boot_time
         host = Host(host_id=self.next_host_id(), spec=self.host_spec,
                     provisioned_at=self.env.now)
         request.completed_at = self.env.now

@@ -70,7 +70,7 @@ class AutoScaler:
     def _loop(self):
         gpus_per_host = self.cluster_config.host_spec.num_gpus
         while True:
-            yield self.env.timeout(self.config.autoscaler_interval_s)
+            yield self.config.autoscaler_interval_s
             committed = self.scheduler.cluster.committed_training_gpus()
             current = self.scheduler.cluster.total_gpus()
             add = self.hosts_to_add(committed, current, gpus_per_host)

@@ -21,11 +21,7 @@ from repro.core.config import ClusterConfig, PlatformConfig
 from repro.core.distributed_kernel import DistributedKernel, KernelReplica, ReplicaState
 from repro.core.election import ExecutorElection
 from repro.core.local_scheduler import LocalScheduler
-from repro.core.placement import (
-    LeastLoadedPlacement,
-    PlacementPolicy,
-    cluster_subscription_ratio,
-)
+from repro.core.placement import LeastLoadedPlacement, PlacementPolicy
 from repro.metrics.collector import EventKind, MetricsCollector
 from repro.simulation.distributions import SeededRandom
 from repro.simulation.engine import Environment
@@ -36,40 +32,92 @@ from repro.workload.models import WorkloadAssignment
 
 
 class ClusterState:
-    """The Global Scheduler's view of the GPU server cluster."""
+    """The Global Scheduler's view of the GPU server cluster.
+
+    The totals the metrics sampler reads every interval — active host count,
+    physical GPUs, committed training GPUs, subscribed GPUs — are maintained
+    *incrementally*: each :class:`Host` pushes deltas here as GPUs are bound
+    and released (see ``Host._cluster``), so sampling a cluster of hundreds
+    of hosts is O(1) instead of a full host-list scan per timeline point.
+    The incremental totals are exact — they are updated with the same
+    integers a scan would sum, so sampled values are bit-identical to the
+    scanning implementation (the golden-metrics tests pin this).
+    """
 
     def __init__(self, env: Environment) -> None:
         self.env = env
         self.hosts: Dict[str, Host] = {}
         self.local_schedulers: Dict[str, LocalScheduler] = {}
+        # Incremental aggregates over *active* hosts.
+        self._active_host_count = 0
+        self._total_gpus = 0
+        self._committed_training_gpus = 0
+        self._subscribed_gpus = 0
 
     def add_host(self, host: Host, scheduler: LocalScheduler) -> None:
         self.hosts[host.host_id] = host
         self.local_schedulers[host.host_id] = scheduler
+        host.attach_cluster(self)
+        if host.is_active:
+            self._active_host_count += 1
+            self._total_gpus += host.spec.num_gpus
+            self._committed_training_gpus += host.committed_training_gpus
+            self._subscribed_gpus += host.subscribed_gpus
 
     def remove_host(self, host_id: str) -> None:
-        self.hosts.pop(host_id, None)
+        host = self.hosts.pop(host_id, None)
         self.local_schedulers.pop(host_id, None)
+        if host is not None:
+            if host.is_active:
+                self._active_host_count -= 1
+                self._total_gpus -= host.spec.num_gpus
+                self._committed_training_gpus -= host.committed_training_gpus
+                self._subscribed_gpus -= host.subscribed_gpus
+            host.attach_cluster(None)
+
+    # ------------------------------------------------------------------
+    # Delta hooks, driven by Host.
+    # ------------------------------------------------------------------
+    def _host_deactivated(self, host: Host) -> None:
+        """``host`` was decommissioned while still registered."""
+        self._active_host_count -= 1
+        self._total_gpus -= host.spec.num_gpus
+        self._committed_training_gpus -= host.committed_training_gpus
+        self._subscribed_gpus -= host.subscribed_gpus
+
+    def _committed_delta(self, delta: int) -> None:
+        self._committed_training_gpus += delta
+
+    def _subscribed_delta(self, delta: int) -> None:
+        self._subscribed_gpus += delta
 
     @property
     def active_hosts(self) -> List[Host]:
         return [h for h in self.hosts.values() if h.is_active]
 
+    @property
+    def active_host_count(self) -> int:
+        """Number of active hosts, without materializing the list."""
+        return self._active_host_count
+
     def scheduler_for(self, host_id: str) -> LocalScheduler:
         return self.local_schedulers[host_id]
 
     def total_gpus(self) -> int:
-        return sum(h.spec.num_gpus for h in self.active_hosts)
+        return self._total_gpus
 
     def committed_training_gpus(self) -> int:
-        return sum(h.committed_training_gpus for h in self.active_hosts)
+        return self._committed_training_gpus
 
     def idle_hosts(self) -> List[Host]:
         """Hosts with no replica actively training (candidates for scale-in)."""
         return [h for h in self.active_hosts if h.is_idle]
 
     def subscription_ratio(self, replication_factor: int) -> float:
-        return cluster_subscription_ratio(self.active_hosts, replication_factor)
+        """Cluster-wide SR from the incremental totals (matches a scan)."""
+        if self._total_gpus == 0 or replication_factor == 0:
+            return 0.0
+        return self._subscribed_gpus / (self._total_gpus * replication_factor)
 
 
 class GlobalScheduler:
@@ -232,7 +280,7 @@ class GlobalScheduler:
                 # Ask for more capacity while we retry.
                 self.env.process(self.scale_out(
                     1, reason=f"migration of {kernel.kernel_id}"))
-            yield self.env.timeout(self.config.migration_retry_interval_s)
+            yield self.config.migration_retry_interval_s
         if target is None:
             self.migrations_aborted += 1
             victim.state = ReplicaState.IDLE

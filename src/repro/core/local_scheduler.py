@@ -63,7 +63,7 @@ class LocalScheduler:
         container, start the replica inside it, register it with this Local
         Scheduler, and subscribe the kernel's GPU request on the host.
         """
-        yield self.env.timeout(self.processing_delay)
+        yield self.processing_delay
         # Subscribe the host up front so that concurrent scale-in decisions
         # cannot decommission it while the container is still provisioning.
         self.host.subscribe(kernel.kernel_id, kernel.resource_request.gpus)
@@ -74,8 +74,7 @@ class LocalScheduler:
             if container is not None:
                 was_prewarmed = True
                 # The pre-warmed container only needs a warm (re)start.
-                yield self.env.timeout(
-                    self.runtime.latency_model.warm_start(self._rng))
+                yield self.runtime.latency_model.warm_start(self._rng)
         if container is None:
             container = yield self.env.process(
                 self.runtime.provision(kernel.resource_request, prewarmed=False))
@@ -93,7 +92,7 @@ class LocalScheduler:
 
     def terminate_replica(self, replica: KernelReplica):
         """Simulation process: tear down a replica and its container."""
-        yield self.env.timeout(self.processing_delay)
+        yield self.processing_delay
         replica.terminate()
         self.replicas.pop(replica.replica_id, None)
         self.host.unregister_container(replica.container.container_id)

@@ -30,6 +30,8 @@ See EXPERIMENTS.md for the full tour.
 
 from repro.experiments.runner import RunOutcome, run_spec, run_specs
 from repro.experiments.scenarios import (
+    CLUSTER_SCALE_HOURS,
+    CLUSTER_SCALE_SESSIONS,
     EXCERPT_HOURS,
     EXCERPT_SESSIONS,
     SIMULATION_DAYS,
@@ -49,6 +51,8 @@ from repro.experiments.store import ResultStore, default_store_root
 from repro.experiments.sweep import SweepGrid
 
 __all__ = [
+    "CLUSTER_SCALE_HOURS",
+    "CLUSTER_SCALE_SESSIONS",
     "EXCERPT_HOURS",
     "EXCERPT_SESSIONS",
     "SIMULATION_DAYS",

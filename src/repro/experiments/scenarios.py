@@ -154,8 +154,47 @@ def _long_run_configs(spec: ScenarioSpec, trace: Trace):
     return long_run_platform_config(), long_run_cluster_config(spec.policy, trace)
 
 
+def cluster_scale_platform_config() -> PlatformConfig:
+    """Platform configuration for the hundreds-of-hosts stress scenario.
+
+    Control-loop intervals are relaxed so wall-clock time goes into the
+    workload itself rather than into sampling an almost-unchanged cluster
+    every simulated minute.
+    """
+    return PlatformConfig(
+        metrics_sample_interval_s=300.0,
+        autoscaler_interval_s=300.0,
+        prewarm_policy=PrewarmPolicy(initial_per_host=1, min_per_host=1,
+                                     replenish_interval=3600.0))
+
+
+def cluster_scale_cluster_config(policy: str, trace: Trace) -> ClusterConfig:
+    """Size a cluster of hundreds of hosts to the trace's peak GPU demand."""
+    events = []
+    for session in trace:
+        events.append((session.start_time, session.gpus_requested))
+        events.append((session.end_time, -session.gpus_requested))
+    peak = current = 0
+    for _, delta in sorted(events):
+        current += delta
+        peak = max(peak, current)
+    gpus_per_host = 8
+    if policy in ("notebookos", "lcp"):
+        initial = max(100, peak // (gpus_per_host * 4))
+    else:
+        initial = max(100, peak // gpus_per_host + 8)
+    return ClusterConfig(initial_hosts=initial,
+                         max_hosts=max(initial * 2, peak // gpus_per_host + 32))
+
+
+def _cluster_scale_configs(spec: ScenarioSpec, trace: Trace):
+    return (cluster_scale_platform_config(),
+            cluster_scale_cluster_config(spec.policy, trace))
+
+
 register_config_preset("default", _default_configs)
 register_config_preset("long_run", _long_run_configs)
+register_config_preset("cluster_scale", _cluster_scale_configs)
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +265,8 @@ EXCERPT_SESSIONS = 90          # Fig. 7: up to 90 concurrent sessions
 EXCERPT_HOURS = 17.5           # the 17.5-hour AdobeTrace excerpt
 SIMULATION_SESSIONS = 60       # scaled-down stand-in for the 433-session trace
 SIMULATION_DAYS = 90
+CLUSTER_SCALE_SESSIONS = 2000  # thousands of sessions on hundreds of hosts
+CLUSTER_SCALE_HOURS = 6.0
 
 _DEFAULT_REGISTRY: Optional[ScenarioRegistry] = None
 
@@ -258,5 +299,16 @@ def default_registry() -> ScenarioRegistry:
                         "check used by CI",
             generator="adobe", default_seed=7,
             generator_kwargs={"num_sessions": 12, "duration_hours": 2.0}))
+        registry.register(Scenario(
+            name="cluster_scale",
+            description=f"{CLUSTER_SCALE_SESSIONS} sessions over "
+                        f"{CLUSTER_SCALE_HOURS:g} hours on hundreds of hosts "
+                        "— engine stress test (see bench_engine.py)",
+            generator="adobe", default_seed=3,
+            generator_kwargs={"num_sessions": CLUSTER_SCALE_SESSIONS,
+                              "duration_hours": CLUSTER_SCALE_HOURS,
+                              "work_bout_hours": 1.5,
+                              "bouts_per_day": 3.0},
+            config_preset="cluster_scale"))
         _DEFAULT_REGISTRY = registry
     return _DEFAULT_REGISTRY

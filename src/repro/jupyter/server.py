@@ -63,7 +63,7 @@ class JupyterServer:
         Returns an event that the Global Scheduler resolves with the final
         (aggregated) reply message.
         """
-        yield self.env.timeout(self.processing_delay)
+        yield self.processing_delay
         self.messages_forwarded += 1
         reply_event = self.network.rpc(self.ADDRESS, self.global_scheduler_address,
                                        f"jupyter.{message.msg_type.value}",

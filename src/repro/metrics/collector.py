@@ -163,6 +163,34 @@ class MetricsCollector:
         self.subscription_ratio.record(time, subscription_ratio)
         self.provisioned_hosts.record(time, provisioned_hosts)
 
+    def make_cluster_sampler(self):
+        """An allocation-light recorder for the periodic cluster sample.
+
+        Long runs record hundreds of thousands of samples, and the platform's
+        sampler loop feeds this from the cluster's O(1) incremental
+        aggregates — so the recording side must not dominate.  The returned
+        ``record(...)`` (same signature as :meth:`sample_cluster`) appends
+        directly to each timeline's point list, skipping six method frames
+        and six time-order validations per sample; callers must supply
+        samples in nondecreasing time order, which the simulation clock
+        guarantees.  Recorded values are identical to :meth:`sample_cluster`.
+        """
+        appends = tuple(getattr(self, name).points.append
+                        for name in self._TIMELINE_FIELDS)
+        pg_add, cg_add, as_add, at_add, sr_add, ph_add = appends
+
+        def record(time: float, provisioned_gpus: int, committed_gpus: int,
+                   active_sessions: int, active_trainings: int,
+                   subscription_ratio: float, provisioned_hosts: int) -> None:
+            pg_add((time, provisioned_gpus))
+            cg_add((time, committed_gpus))
+            as_add((time, active_sessions))
+            at_add((time, active_trainings))
+            sr_add((time, subscription_ratio))
+            ph_add((time, provisioned_hosts))
+
+        return record
+
     def record_executor_decision(self, immediate_commit: bool, same_executor: bool) -> None:
         """Track the §5.3.2 statistics (89.6 % immediate commits, 89.45 % reuse)."""
         self.executor_decisions += 1

@@ -35,7 +35,7 @@ class SchedulingPolicy:
     def on_session_start(self, platform: "NotebookOSPlatform",
                          session: SessionTrace):
         """Provision whatever the policy needs for a new session."""
-        yield platform.env.timeout(0.0)
+        yield 0.0
 
     def execute_task(self, platform: "NotebookOSPlatform", session: SessionTrace,
                      task: TaskRecord, metrics: TaskMetrics):
@@ -45,7 +45,7 @@ class SchedulingPolicy:
 
     def on_session_end(self, platform: "NotebookOSPlatform", session: SessionTrace):
         """Tear down per-session resources."""
-        yield platform.env.timeout(0.0)
+        yield 0.0
 
     # ------------------------------------------------------------------
     # Metrics hooks.
@@ -69,23 +69,22 @@ class SchedulingPolicy:
         env = platform.env
         # Jupyter Server processing plus the hop to the Global Scheduler is
         # part of the (unnumbered) client-side path; it is tiny and constant.
-        yield env.timeout(config.jupyter_processing_s + config.network_hop_s)
+        yield config.jupyter_processing_s + config.network_hop_s
         steps.record("gs_process_request", config.gs_processing_s + gs_extra)
-        yield env.timeout(config.gs_processing_s + gs_extra)
+        yield config.gs_processing_s + gs_extra
         steps.record("gs_to_ls_hop", config.network_hop_s)
         steps.record("ls_process_request", config.ls_processing_s)
         steps.record("ls_to_kernel_hop", config.network_hop_s)
         steps.record("kernel_preprocess", config.kernel_preprocess_s)
-        yield env.timeout(2 * config.network_hop_s + config.ls_processing_s
-                          + config.kernel_preprocess_s)
+        yield (2 * config.network_hop_s + config.ls_processing_s
+               + config.kernel_preprocess_s)
 
     @staticmethod
     def reply_egress(platform: "NotebookOSPlatform", steps: StepLatencies):
         """Simulation process: kernel → LS → GS → client reply path (step 10+)."""
         config = platform.config
         steps.record("kernel_to_ls_hop", config.network_hop_s)
-        yield platform.env.timeout(3 * config.network_hop_s
-                                   + config.jupyter_processing_s)
+        yield 3 * config.network_hop_s + config.jupyter_processing_s
 
     @staticmethod
     def stage_model_and_dataset(platform: "NotebookOSPlatform",

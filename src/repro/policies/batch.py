@@ -55,7 +55,7 @@ class BatchPolicy(SchedulingPolicy):
                     host = self._find_host(platform, gpus)
                     if host is not None:
                         return host
-                yield platform.env.timeout(self.queue_poll_interval_s)
+                yield self.queue_poll_interval_s
         finally:
             self._queue.remove(ticket)
 
@@ -95,7 +95,7 @@ class BatchPolicy(SchedulingPolicy):
         metrics.started_at = env.now
         metrics.executor_replica = job_id
         steps.record("execute_code", task.duration)
-        yield env.timeout(task.duration)
+        yield task.duration
 
         # Mandatory post-processing data I/O: persist the updated model.
         persist_time = yield env.process(self.persist_model(

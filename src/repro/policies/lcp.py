@@ -63,7 +63,7 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
         wait_start = env.now
         host = self._find_host(platform, gpus)
         while host is None:
-            yield env.timeout(self.gpu_wait_poll_s)
+            yield self.gpu_wait_poll_s
             host = self._find_host(platform, gpus)
         if gpus:
             host.bind_gpus(job_id, gpus, env.now)
@@ -73,7 +73,7 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
             container = yield env.process(scheduler.runtime.provision(
                 ResourceRequest(gpus=gpus), prewarmed=False))
         else:
-            yield env.timeout(scheduler.runtime.latency_model.warm_start(platform.rng))
+            yield scheduler.runtime.latency_model.warm_start(platform.rng)
         container.assign(job_id, job_id)
         acquisition_delay = env.now - wait_start
 
@@ -88,7 +88,7 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
         metrics.started_at = env.now
         metrics.executor_replica = job_id
         steps.record("execute_code", task.duration)
-        yield env.timeout(task.duration)
+        yield task.duration
 
         # Persist the updated model so the next (different) container can
         # pick the session up where this one left off.

@@ -78,7 +78,7 @@ class NotebookOSPolicy(SchedulingPolicy):
         preferred = platform.global_scheduler.preferred_executor(kernel, gpus_needed)
         outcome = kernel.election.decide(proposals, preferred_replica=preferred)
         steps.record("primary_replica_protocol", outcome.latency_s)
-        yield env.timeout(outcome.latency_s)
+        yield outcome.latency_s
         platform.metrics.record_executor_decision(
             immediate_commit=not outcome.failed,
             same_executor=(outcome.winner is not None
@@ -116,7 +116,7 @@ class NotebookOSPolicy(SchedulingPolicy):
         if gpus_to_bind > 0 and not self._kernel_owns_gpus(executor, kernel):
             waited = 0.0
             while not executor.host.can_bind_gpus(gpus_to_bind):
-                yield env.timeout(self.gpu_wait_poll_s)
+                yield self.gpu_wait_poll_s
                 waited += self.gpu_wait_poll_s
                 if waited >= self.gpu_wait_timeout_s:
                     break
@@ -142,14 +142,14 @@ class NotebookOSPolicy(SchedulingPolicy):
             else 0.0
         steps.record("intermediary_interval", (env.now - bind_start) + load_time)
         if load_time:
-            yield env.timeout(load_time)
+            yield load_time
 
         # Execute the user's code.
         executor.state = ReplicaState.EXECUTING
         metrics.started_at = env.now
         metrics.executor_replica = executor.replica_id
         steps.record("execute_code", task.duration)
-        yield env.timeout(task.duration)
+        yield task.duration
 
         # Copy GPU state back to host memory before replying (§3.3), then
         # release the GPUs for co-located kernels.
@@ -157,7 +157,7 @@ class NotebookOSPolicy(SchedulingPolicy):
             if gpus_to_bind else 0.0
         steps.record("kernel_postprocess", unload_time)
         if unload_time:
-            yield env.timeout(unload_time)
+            yield unload_time
         if gpus_to_bind:
             local_scheduler.release_gpus(executor)
         executor.state = ReplicaState.IDLE

@@ -115,16 +115,16 @@ class ReservationPolicy(SchedulingPolicy):
         load_time = platform.gpu_binding.load_time(model, platform.rng) if gpus else 0.0
         steps.record("intermediary_interval", load_time)
         if load_time:
-            yield env.timeout(load_time)
+            yield load_time
 
         metrics.started_at = env.now
         metrics.executor_replica = metrics.kernel_id
         steps.record("execute_code", task.duration)
-        yield env.timeout(task.duration)
+        yield task.duration
 
         # The reserved kernel persists small updated state after the cell.
         steps.record("kernel_postprocess", self.state_persist_s)
-        yield env.timeout(self.state_persist_s)
+        yield self.state_persist_s
         if gpus and session.session_id in host.gpus.owners():
             host.release_gpus(session.session_id, env.now)
 

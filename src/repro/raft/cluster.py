@@ -85,7 +85,7 @@ class RaftCluster:
                 return leader
             if deadline is not None and self.env.now >= deadline:
                 raise TimeoutError("no Raft leader elected before the deadline")
-            yield self.env.timeout(poll_interval)
+            yield poll_interval
 
     # ------------------------------------------------------------------
     # Proposals.

@@ -199,7 +199,7 @@ class RaftNode:
 
     def _timer_loop(self):
         while self._running:
-            yield self.env.timeout(self.config.tick_interval)
+            yield self.config.tick_interval
             if not self._running:
                 return
             if self.role == Role.LEADER:

@@ -7,19 +7,70 @@ the process suspends until that event is processed.
 
 The engine is single-threaded and fully deterministic: two runs with the same
 seeds and the same process structure produce identical schedules.
+
+Fast path
+---------
+This is the hottest loop in the repository — the 90-day summer trace pops
+millions of heap entries — so the run loops are hand-tuned:
+
+* heap entries are plain ``(time, serial, item)`` tuples, ordered entirely by
+  the C tuple comparison (``item`` is never compared because ``serial`` is
+  unique);
+* :meth:`Environment.run` and :meth:`Environment._run_until_event` inline the
+  pop-and-dispatch body instead of calling :meth:`Environment.step` once per
+  event;
+* process bootstrap and interrupt delivery schedule a :class:`_Call` — a
+  two-slot stub that satisfies the dispatch protocol — instead of
+  constructing, triggering, and scheduling a full bootstrap :class:`Event`;
+* a process's resume callback is bound once at construction, not once per
+  ``yield``.
+
+Failed events whose exception nobody handled are re-raised out of the run
+loop unless they are *defused* — see :class:`~repro.simulation.events.Event`.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappush
 from itertools import count
+from types import GeneratorType
 from typing import Any, Generator, Iterable, Optional
 
-from repro.simulation.events import Event, Interrupt, Timeout
+from repro.simulation.events import _PROCESSED, Event, Interrupt, Timeout
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
+
+
+class _Call:
+    """A bare scheduled callback: the cheapest possible heap entry.
+
+    Implements just enough of the event-dispatch protocol (``_callbacks``,
+    ``_exception``, ``_value``) for the engine's pop loop —
+    and for :meth:`Process._resume` — to treat it like a processed-on-pop
+    event that succeeded with ``None``.  Used for process bootstrap,
+    interrupt delivery, and deferred internal callbacks
+    (:meth:`Environment.defer`), where a full :class:`Event` would be wasted
+    allocation.
+    """
+
+    __slots__ = ("_callbacks", "_exception", "_value", "payload")
+
+    # _exception/_value are real slots (not class-level constants): the
+    # reusable per-process sleep stub is popped many times, and a slot read
+    # beats an MRO lookup on every one of those pops.  ``payload`` is an
+    # optional uninitialized slot for callbacks that need one argument
+    # (e.g. the Interrupt instance an interrupt delivery will throw).
+
+    def __init__(self, fn) -> None:
+        self._callbacks = fn
+        self._exception = None
+        self._value = None
+
+
+_call_new = _Call.__new__
 
 
 class Process(Event):
@@ -30,19 +81,43 @@ class Process(Event):
     wait for completion.
     """
 
+    __slots__ = ("_name", "_generator", "_waiting_on", "_resume_cb",
+                 "_sleep_call")
+
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
                  name: Optional[str] = None) -> None:
-        if not hasattr(generator, "send"):
+        if type(generator) is not GeneratorType and not hasattr(generator, "send"):
             raise SimulationError(
                 f"process body must be a generator, got {type(generator).__name__}")
-        super().__init__(env)
-        self.name = name or getattr(generator, "__name__", "process")
+        # Event.__init__ inlined: processes are created once per task/session.
+        # _value is deliberately left unset — the completion paths always
+        # write it (or _exception) before anything reads it.
+        self.env = env
+        self._callbacks = None
+        self._exception = None
+        self._triggered = False
+        self.defused = False
+        self._name = name
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick the process off at the current simulation time.
-        bootstrap = Event(env)
-        bootstrap.succeed()
-        bootstrap.add_callback(self._resume)
+        # Bind the resume callback once; it is registered on every event this
+        # process ever waits for.  The bootstrap entry reuses it too: a _Call
+        # looks like an event that succeeded with None, so popping it drives
+        # the first generator step through the same fast path as any resume.
+        resume = self._resume
+        self._resume_cb = resume
+        call = _Call(resume)
+        # The bootstrap stub doubles as this process's reusable sleep stub:
+        # a process waits on at most one sleep at a time, so once the stub
+        # has been popped it can carry the next ``yield delay`` — zero
+        # allocations per sleep in the steady state.
+        self._sleep_call = call
+        heappush(env._queue, (env._now, next(env._counter), call))
+
+    @property
+    def name(self) -> str:
+        """The process name (defaults to the generator's function name)."""
+        return self._name or getattr(self._generator, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:
@@ -51,32 +126,103 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield."""
-        if not self.is_alive:
+        if self._triggered:
             return
-        interrupt_event = Event(self.env)
-        interrupt_event.succeed(Interrupt(cause))
-        interrupt_event.defused = True  # type: ignore[attr-defined]
-        interrupt_event.add_callback(self._resume_with_interrupt)
+        env = self.env
+        call = _Call(self._deliver_interrupt)
+        call.payload = Interrupt(cause)
+        heappush(env._queue, (env._now, next(env._counter), call))
 
-    def _resume_with_interrupt(self, event: Event) -> None:
-        if not self.is_alive:
-            return
-        self._step(throw=event.value)
+    def _deliver_interrupt(self, call: _Call) -> None:
+        if not self._triggered:
+            self._step(throw=call.payload)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        # This is the hottest callback in the engine (every timeout tick and
+        # message delivery lands here), so _step's body is inlined — one
+        # Python call per resume instead of two — and the waiter
+        # registration skips Event.add_callback for the empty-slot case.
+        if self._triggered:
             return
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting = self._waiting_on
+        if event is not waiting and waiting is not None:
             # A stale wake-up (e.g. the event we were interrupted away from).
             return
-        self._waiting_on = None
-        if event.ok:
-            self._step(send=event.value)
+        # _waiting_on is deliberately NOT reset here: a finished process
+        # ignores every further wake-up via the _triggered guard above, and
+        # a process that keeps running overwrites it at its next yield.
+        try:
+            exc = event._exception  # noqa: SLF001 - engine-internal fast path
+            if exc is None:
+                target = self._generator.send(event._value)  # noqa: SLF001
+            else:
+                # The exception is about to be thrown at this process's
+                # yield: from here on, handling it is this process's
+                # responsibility.
+                event.defused = True
+                target = self._generator.throw(exc)
+        except StopIteration as stop:
+            # _finish inlined: trigger this process's completion event.
+            if not self._triggered:
+                self._triggered = True
+                self._value = stop.value
+                env = self.env
+                heappush(env._queue, (env._now, next(env._counter), self))
+            return
+        except Interrupt as interrupt:
+            if not self._triggered:
+                self._triggered = True
+                self._exception = interrupt
+                # Deliberate cancellation, not an engine-level error.
+                self.defused = True
+                env = self.env
+                heappush(env._queue, (env._now, next(env._counter), self))
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if not self._triggered:
+                self._triggered = True
+                self._exception = exc
+                env = self.env
+                heappush(env._queue, (env._now, next(env._counter), self))
+            return
+
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Sleep fast path: ``yield delay`` parks the process for ``delay``
+            # seconds without allocating an Event at all — just the heap stub.
+            # Scheduling order is identical to ``yield env.timeout(delay)``.
+            if target >= 0:
+                call = self._sleep_call
+                if call._callbacks is _PROCESSED:
+                    call._callbacks = self._resume_cb
+                else:
+                    # The stub is still pending in the heap (we were
+                    # interrupted away from it); it must keep its identity so
+                    # the stale-wake-up guard can reject it when it pops.
+                    call = _Call(self._resume_cb)
+                    self._sleep_call = call
+                self._waiting_on = call  # type: ignore[assignment]
+                env = self.env
+                heappush(env._queue, (env._now + target, next(env._counter), call))
+            else:
+                self._finish(exception=SimulationError(
+                    f"process {self.name!r} yielded a negative sleep: {target!r}"))
+        elif cls is Timeout or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target._callbacks  # noqa: SLF001 - add_callback inlined
+            if cbs is None:
+                target._callbacks = self._resume_cb
+            elif cbs is _PROCESSED:  # late waiter resumes now
+                self._resume(target)
+            elif type(cbs) is list:
+                cbs.append(self._resume_cb)
+            else:
+                target._callbacks = [cbs, self._resume_cb]
         else:
-            self._step(throw=event._exception)  # noqa: SLF001
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
-        self.env._active_process = self
         try:
             if throw is not None:
                 target = self._generator.throw(throw)
@@ -91,24 +237,60 @@ class Process(Event):
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
             self._finish(exception=exc)
             return
-        finally:
-            self.env._active_process = None
 
-        if not isinstance(target, Event):
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Cold path (one _step per interrupt delivery): delegate to the
+            # shared helper rather than duplicating _resume's inline copy.
+            self._park_for_sleep(target)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._resume_cb)
+        else:
             self._finish(exception=SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+
+    def _park_for_sleep(self, delay) -> None:
+        """Park this process for ``delay`` seconds (the ``yield number`` form).
+
+        Single source of truth for the sleep-stub reuse rules; _resume
+        inlines an identical copy for speed — keep the two in sync.
+        """
+        if delay >= 0:
+            call = self._sleep_call
+            if call._callbacks is _PROCESSED:
+                call._callbacks = self._resume_cb
+            else:
+                # The stub is still pending in the heap (we were interrupted
+                # away from it); it must keep its identity so the stale-wake-
+                # up guard can reject it when it pops.
+                call = _Call(self._resume_cb)
+                self._sleep_call = call
+            self._waiting_on = call  # type: ignore[assignment]
+            env = self.env
+            heappush(env._queue, (env._now + delay, next(env._counter), call))
+        else:
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded a negative sleep: {delay!r}"))
 
     def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        # succeed()/fail() inlined: _finish runs once per completed process
+        # and has already established that the event is untriggered.
         self._waiting_on = None
         if self._triggered:
             return
+        self._triggered = True
         if exception is not None:
-            self.fail(exception)
+            self._exception = exception
+            if isinstance(exception, Interrupt):
+                # Dying of an uncaught Interrupt is deliberate cancellation
+                # (e.g. RaftNode.stop tearing down its loops), not an error
+                # the engine should escalate.  Waiters still receive it.
+                self.defused = True
         else:
-            self.succeed(value)
+            self._value = value
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._triggered else "alive"
@@ -116,46 +298,124 @@ class Process(Event):
 
 
 class Environment:
-    """Owns simulation time and the scheduled-event heap."""
+    """Owns simulation time and the scheduled-event heap.
+
+    The factory helpers ``event``/``timeout``/``process`` are *instance*
+    attributes (closures created in ``__init__``) rather than methods: the
+    call sites are the hottest allocation points in the simulator, and a
+    closure call skips both the per-call bound-method allocation and — for
+    ``timeout`` and ``event`` — the type-call/``__init__`` dispatch, writing
+    the slots directly.  Their behaviour is identical to calling the
+    ``Timeout``/``Event``/``Process`` constructors.
+    """
+
+    __slots__ = ("_now", "_queue", "_counter", "_serials",
+                 "event", "timeout", "process", "defer")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
-        self._counter = count()
+        queue: list[tuple[float, int, Any]] = []
+        self._queue = queue
+        counter = count()
+        self._counter = counter
         self._serials: dict[str, int] = {}
-        self._active_process: Optional[Process] = None
+
+        # NOTE: these closures mirror Timeout.__init__ / Event.__init__ in
+        # events.py slot for slot; keep the two in sync.
+        timeout_new = Timeout.__new__
+
+        def timeout(delay: float, value: Any = None,
+                    _new=timeout_new, _cls=Timeout) -> Timeout:
+            """Create a timeout event that triggers after ``delay`` seconds."""
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = _new(_cls)
+            t.env = self
+            t.delay = delay
+            t._callbacks = None
+            t._value = value
+            t._triggered = True
+            heappush(queue, (self._now + delay, next(counter), t))
+            return t
+
+        self.timeout = timeout
+
+        event_new = Event.__new__
+
+        def event(_new=event_new, _cls=Event) -> Event:
+            """Create an untriggered event bound to this environment."""
+            e = _new(_cls)
+            e.env = self
+            e._callbacks = None
+            e._value = None
+            e._exception = None
+            e._triggered = False
+            e.defused = False
+            return e
+
+        self.event = event
+
+        process_new = Process.__new__
+
+        def process(generator: Generator[Event, Any, Any],
+                    name: Optional[str] = None,
+                    _new=process_new, _cls=Process) -> Process:
+            """Register ``generator`` as a new simulation process."""
+            # Mirrors Process.__init__ slot for slot; keep the two in sync.
+            if type(generator) is not GeneratorType \
+                    and not hasattr(generator, "send"):
+                raise SimulationError(
+                    f"process body must be a generator, "
+                    f"got {type(generator).__name__}")
+            p = _new(_cls)
+            p.env = self
+            p._callbacks = None
+            p._exception = None
+            p._triggered = False
+            p.defused = False
+            p._name = name
+            p._generator = generator
+            p._waiting_on = None
+            resume = p._resume
+            p._resume_cb = resume
+            call = _Call(resume)
+            p._sleep_call = call
+            heappush(queue, (self._now, next(counter), call))
+            return p
+
+        self.process = process
+
+        def defer(delay: float, fn, _new=_call_new, _cls=_Call) -> None:
+            """Schedule a bare callback — no :class:`Event` is allocated.
+
+            ``fn`` is invoked with one throwaway argument (the internal heap
+            stub) after ``delay`` seconds, ordered exactly as an event
+            scheduled at the same moment would be.  Internal plumbing (e.g.
+            network message delivery) uses this instead of
+            ``timeout(delay).add_callback(fn)``; nothing can wait on a
+            deferred call.
+            """
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule callback in the past: {delay}")
+            c = _new(_cls)
+            c._callbacks = fn
+            c._exception = None
+            c._value = None
+            heappush(queue, (self._now + delay, next(counter), c))
+
+        self.defer = defer
 
     @property
     def now(self) -> float:
         """Current simulation time, in seconds."""
         return self._now
 
-    @property
-    def active_process(self) -> Optional[Process]:
-        """The process currently being stepped, if any."""
-        return self._active_process
-
-    # ------------------------------------------------------------------
-    # Event and process creation helpers.
-    # ------------------------------------------------------------------
-    def event(self) -> Event:
-        """Create an untriggered event bound to this environment."""
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a timeout event that triggers after ``delay`` seconds."""
-        return Timeout(self, delay, value)
-
-    def process(self, generator: Generator[Event, Any, Any],
-                name: Optional[str] = None) -> Process:
-        """Register ``generator`` as a new simulation process."""
-        return Process(self, generator, name=name)
-
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event`` for processing ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past: {delay}")
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        heappush(self._queue, (self._now + delay, next(self._counter), event))
 
     def next_serial(self, category: str = "") -> int:
         """A per-environment monotonic serial for ``category`` (1, 2, 3, ...).
@@ -180,7 +440,17 @@ class Environment:
             raise SimulationError("no more events to process")
         time, _, event = heapq.heappop(self._queue)
         self._now = time
-        event._run_callbacks()  # noqa: SLF001 - engine drives event processing
+        cbs = event._callbacks
+        event._callbacks = _PROCESSED
+        if cbs is not None:
+            if type(cbs) is list:
+                for callback in cbs:
+                    callback(event)
+            else:
+                cbs(event)
+        exc = event._exception
+        if exc is not None and not event.defused:
+            raise exc
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -192,6 +462,9 @@ class Environment:
         ``until`` may be ``None`` (run until no events remain), a time (run
         until the clock reaches it), or an :class:`Event` (run until it has
         been processed, returning its value).
+
+        Raises the exception of any failed event processed along the way
+        whose failure nobody handled (see ``Event.defused``).
         """
         if isinstance(until, Event):
             return self._run_until_event(until)
@@ -199,18 +472,63 @@ class Environment:
         if limit < self._now:
             raise SimulationError(
                 f"cannot run until {limit}: simulation time is already {self._now}")
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
-        if limit != float("inf"):
-            self._now = limit
+        # Hot loop: step() inlined, with the heap and heappop in locals, and
+        # the bound check dropped entirely in the run-to-exhaustion case.
+        queue = self._queue
+        pop = heapq.heappop
+        if limit == float("inf"):
+            while queue:
+                time, _, event = pop(queue)
+                self._now = time
+                cbs = event._callbacks
+                event._callbacks = _PROCESSED
+                if cbs is not None:
+                    if type(cbs) is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+                exc = event._exception
+                if exc is not None and not event.defused:
+                    raise exc
+            return None
+        while queue and queue[0][0] <= limit:
+            time, _, event = pop(queue)
+            self._now = time
+            cbs = event._callbacks
+            event._callbacks = _PROCESSED
+            if cbs is not None:
+                if type(cbs) is list:
+                    for callback in cbs:
+                        callback(event)
+                else:
+                    cbs(event)
+            exc = event._exception
+            if exc is not None and not event.defused:
+                raise exc
+        self._now = limit
         return None
 
     def _run_until_event(self, until: Event) -> Any:
-        while not until.processed:
-            if not self._queue:
+        queue = self._queue
+        pop = heapq.heappop
+        while until._callbacks is not _PROCESSED:  # noqa: SLF001 - fast path
+            if not queue:
                 raise SimulationError(
                     "event queue drained before the awaited event triggered")
-            self.step()
+            time, _, event = pop(queue)
+            self._now = time
+            cbs = event._callbacks
+            event._callbacks = _PROCESSED
+            if cbs is not None:
+                if type(cbs) is list:
+                    for callback in cbs:
+                        callback(event)
+                else:
+                    cbs(event)
+            exc = event._exception
+            if exc is not None and not event.defused:
+                raise exc
         return until.value
 
     def run_all(self, processes: Iterable[Process]) -> list[Any]:

@@ -4,11 +4,24 @@ Events are the unit of coordination in the simulation: a process ``yield``\\ s
 an event and is resumed when that event is *triggered* (either successfully,
 with a value, or with an exception).  The engine (:mod:`repro.simulation.engine`)
 owns the event queue; this module only defines the event objects themselves.
+
+Events are the single most-allocated objects in a run (one ``Timeout`` per
+tick of every periodic loop, one resume per message delivery), so the class
+is deliberately allocation-light:
+
+* every event class uses ``__slots__`` — no per-instance ``__dict__``;
+* the callback list is lazy: most events have exactly one waiter, which is
+  stored directly in the ``_callbacks`` slot; a list is only materialized
+  when a second callback registers;
+* ``succeed``/``fail``/``Timeout`` push ``(time, serial, event)`` entries
+  onto the environment's heap directly, so the only per-schedule allocation
+  is the heap tuple itself.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+from heapq import heappush
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.simulation.engine import Environment
@@ -30,20 +43,43 @@ class Interrupt(Exception):
         return f"Interrupt(cause={self.cause!r})"
 
 
+#: Sentinel stored in ``_callbacks`` once an event has been processed; it
+#: doubles as the "processed" flag so no separate boolean slot is needed.
+_PROCESSED = object()
+
+
 class Event:
     """A one-shot waitable event.
 
     An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
     triggers it, which schedules it with the environment; once the scheduler
     pops it, every registered callback runs and waiting processes resume.
+
+    Failure escalation (``defused``)
+        A failed event normally delivers its exception to whoever waits on
+        it.  If the engine processes a failed event and *nothing* marked the
+        failure as handled, the exception would previously vanish silently;
+        now the engine re-raises it from :meth:`Environment.run` so broken
+        simulations fail loudly.  Setting :attr:`defused` to ``True``
+        suppresses that escalation.  It is set automatically when
+
+        * a waiting process has the exception thrown at its ``yield`` (the
+          waiter is now responsible for it),
+        * a condition event absorbs a child's failure, or
+        * a process dies of an uncaught :class:`Interrupt` — interruption is
+          deliberate cancellation, not an error.
     """
+
+    __slots__ = ("env", "_callbacks", "_value", "_exception", "_triggered",
+                 "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._callbacks: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
+        self.defused = False
 
     @property
     def triggered(self) -> bool:
@@ -53,12 +89,29 @@ class Event:
     @property
     def processed(self) -> bool:
         """Whether the event's callbacks have already been executed."""
-        return self.callbacks is None
+        return self._callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
         """Whether the event was triggered successfully (no exception)."""
         return self._triggered and self._exception is None
+
+    @property
+    def callbacks(self) -> Optional[Tuple[Callable[["Event"], None], ...]]:
+        """The registered callbacks (``None`` once processed).
+
+        Read-only introspection: a *tuple* snapshot, so the seed engine's
+        ``event.callbacks.append(cb)`` idiom fails loudly instead of
+        mutating a throwaway copy.  Register via :meth:`add_callback`.
+        """
+        cbs = self._callbacks
+        if cbs is _PROCESSED:
+            return None
+        if cbs is None:
+            return ()
+        if type(cbs) is list:
+            return tuple(cbs)
+        return (cbs,)
 
     @property
     def value(self) -> Any:
@@ -76,7 +129,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._triggered = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -91,65 +145,121 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._exception = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback`` to run when the event is processed."""
-        if self.callbacks is None:
+        cbs = self._callbacks
+        if cbs is _PROCESSED:
             # Already processed: run immediately so late waiters still resume.
             callback(self)
+        elif cbs is None:
+            self._callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
         else:
-            self.callbacks.append(callback)
+            self._callbacks = [cbs, callback]
 
     def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        if callbacks is None:
+        cbs = self._callbacks
+        self._callbacks = _PROCESSED
+        if cbs is None or cbs is _PROCESSED:
             return
-        for callback in callbacks:
-            callback(self)
+        if type(cbs) is list:
+            for callback in cbs:
+                callback(self)
+        else:
+            cbs(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self.processed else (
+        state = "processed" if self._callbacks is _PROCESSED else (
             "triggered" if self._triggered else "pending")
         return f"<{type(self).__name__} {state} at t={self.env.now:.3f}>"
 
 
 class Timeout(Event):
-    """An event that triggers automatically after ``delay`` simulation time."""
+    """An event that triggers automatically after ``delay`` simulation time.
+
+    Timeouts are created once per tick of every periodic loop, so the
+    constructor is pared to the bone: ``_exception`` and ``defused`` are
+    class-level constants (shadowing the :class:`Event` slots) because a
+    timeout can never fail — reads fall through to the class, and the two
+    per-instance writes are saved.  ``fail()`` on a timeout is already
+    impossible: it is born triggered.  As a consequence these two
+    attributes are *read-only* on timeouts: ``timeout.defused = True``
+    raises ``AttributeError`` — which is correct, since there can never be
+    a failure to defuse.
+    """
+
+    __slots__ = ("delay",)
+
+    _exception = None
+    defused = False
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        self.env = env
         self.delay = delay
-        self._triggered = True
+        self._callbacks = None
         self._value = value
-        env.schedule(self, delay=delay)
+        self._triggered = True
+        heappush(env._queue, (env._now + delay, next(env._counter), self))
 
 
 class ConditionEvent(Event):
     """Base class for events composed of several child events."""
 
+    __slots__ = ("events", "_completed")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        super().__init__(env)
-        self.events = list(events)
+        # Event.__init__ and add_callback inlined: one AllOf is built per
+        # fan-out (replica starts, session joins), right on the hot path.
+        self.env = env
+        self._callbacks = None
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self.defused = False
+        if type(events) is not list:
+            events = list(events)
+        self.events = events
         self._completed: dict[Event, Any] = {}
-        if not self.events:
+        if not events:
             self.succeed({})
             return
-        for event in self.events:
-            event.add_callback(self._on_child)
+        on_child = self._on_child
+        for event in events:
+            cbs = event._callbacks
+            if cbs is _PROCESSED:
+                on_child(event)
+            elif cbs is None:
+                event._callbacks = on_child
+            elif type(cbs) is list:
+                cbs.append(on_child)
+            else:
+                event._callbacks = [cbs, on_child]
 
     def _on_child(self, event: Event) -> None:
+        # ``event.ok`` inlined: _on_child only ever sees processed (and
+        # therefore triggered) events, so "not ok" reduces to "failed".
+        if event._exception is not None:
+            # The condition adopts the child's failure: it either propagates
+            # it to its own waiters below, or (if already triggered) absorbs
+            # it — either way the child's failure is handled.
+            event.defused = True
+            if not self._triggered:
+                self.fail(event._exception)  # noqa: SLF001 - intentional propagation
+            return
         if self._triggered:
             return
-        if not event.ok:
-            self.fail(event._exception)  # noqa: SLF001 - intentional propagation
-            return
-        self._completed[event] = event.value
+        self._completed[event] = event._value
         if self._is_satisfied():
-            self.succeed(dict(self._completed))
+            # _completed is never mutated after triggering, so it is handed
+            # out as the value without a defensive copy.
+            self.succeed(self._completed)
 
     def _is_satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -158,12 +268,43 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Triggers once *all* child events have triggered successfully."""
 
+    __slots__ = ()
+
     def _is_satisfied(self) -> bool:
         return len(self._completed) == len(self.events)
+
+    def _on_child(self, event: Event) -> None:
+        # ConditionEvent._on_child with the satisfaction check and the
+        # ``ok`` property inlined: one AllOf child completes per replica
+        # start / session join, so both dispatches are worth skipping.
+        if event._exception is not None:
+            event.defused = True
+            if not self._triggered:
+                self.fail(event._exception)  # noqa: SLF001
+            return
+        if self._triggered:
+            return
+        completed = self._completed
+        completed[event] = event._value  # noqa: SLF001
+        if len(completed) == len(self.events):
+            self.succeed(completed)
 
 
 class AnyOf(ConditionEvent):
     """Triggers once *any* child event has triggered successfully."""
 
+    __slots__ = ()
+
     def _is_satisfied(self) -> bool:
         return len(self._completed) >= 1
+
+    def _on_child(self, event: Event) -> None:
+        if event._exception is not None:
+            event.defused = True
+            if not self._triggered:
+                self.fail(event._exception)  # noqa: SLF001
+            return
+        if self._triggered:
+            return
+        self._completed[event] = event._value  # noqa: SLF001
+        self.succeed(self._completed)

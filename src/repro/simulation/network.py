@@ -47,10 +47,17 @@ class Message:
 
 @dataclass
 class Link:
-    """Latency / loss characteristics for one directed pair of endpoints."""
+    """Latency / loss characteristics for one directed pair of endpoints.
+
+    ``duplicate_probability`` models at-least-once delivery (retransmitting
+    middleboxes, retried RPCs): each sent message is delivered a second time
+    with that probability, after an independently drawn delay.  Protocol
+    tests use it to check that Raft treats duplicated requests idempotently.
+    """
 
     latency_fn: Callable[[], float]
     drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
     bandwidth_bytes_per_sec: Optional[float] = None
     partitioned: bool = False
 
@@ -75,6 +82,7 @@ class Network:
         self._links: Dict[Tuple[NetworkAddress, NetworkAddress], Link] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------
@@ -158,7 +166,14 @@ class Network:
             self.messages_dropped += 1
             return None
         delay = link.delivery_delay(size_bytes)
-        self.env.timeout(delay).add_callback(lambda _event: self._deliver(message))
+        # defer() skips the Timeout allocation: one deferred call per message
+        # on what is the hottest path of Raft-heavy workloads.
+        self.env.defer(delay, lambda _call: self._deliver(message))
+        if link.duplicate_probability > 0 and self._rng is not None \
+                and self._rng.random() < link.duplicate_probability:
+            self.messages_duplicated += 1
+            self.env.defer(link.delivery_delay(size_bytes),
+                           lambda _call: self._deliver(message))
         return message
 
     def _deliver(self, message: Message) -> None:

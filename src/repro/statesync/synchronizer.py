@@ -116,7 +116,7 @@ class StateSynchronizer:
             if self.raft_cluster is not None:
                 yield self.raft_cluster.propose(command, via=None)
             else:
-                yield self.env.timeout(self.latency_model.sample(self._rng))
+                yield self.latency_model.sample(self._rng)
             report.raft_sync_latency = self.env.now - start
             report.bytes_via_raft = sum(obj.size_bytes for obj in small)
             self.sync_latencies.append(report.raft_sync_latency)

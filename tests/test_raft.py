@@ -337,6 +337,134 @@ def test_apply_listener_invoked_for_each_command():
     assert ("set", "listened", 1) in seen
 
 
+# ----------------------------------------------------------------------
+# Safety invariants under message loss and duplication.
+#
+# Election safety: at most one leader is ever elected per term.
+# Log matching: if two logs contain an entry with the same index and term,
+# the logs are identical in all entries up to that index.
+# ----------------------------------------------------------------------
+
+def build_lossy_cluster(num_nodes=3, seed=0, drop=0.0, duplicate=0.0,
+                        default_latency=0.002):
+    """A cluster whose every inter-node link drops/duplicates messages."""
+    from repro.simulation.network import Link
+
+    env = Environment()
+    network = Network(env, default_latency=default_latency,
+                      rng=SeededRandom(seed * 7919 + 13))
+    member_ids = [f"node-{i}" for i in range(num_nodes)]
+    for source in member_ids:
+        for destination in member_ids:
+            if source != destination:
+                network.set_link(source, destination,
+                                 Link(latency_fn=lambda: default_latency,
+                                      drop_probability=drop,
+                                      duplicate_probability=duplicate),
+                                 bidirectional=False)
+    cluster = RaftCluster(env, network, member_ids,
+                          state_machine_factory=lambda _id: KeyValueStateMachine(),
+                          config=RaftConfig(),
+                          rng=SeededRandom(seed))
+    cluster.start()
+    return env, network, cluster
+
+
+def observe_leaders_per_term(env, cluster, until, step=0.025):
+    """Advance simulation time, recording every (term -> leaders) sighting."""
+    leaders_by_term = {}
+    while env.now < until:
+        env.run(until=min(until, env.now + step))
+        for node in cluster.nodes.values():
+            if node.role == Role.LEADER:
+                leaders_by_term.setdefault(node.current_term, set()).add(
+                    node.node_id)
+    return leaders_by_term
+
+
+def assert_log_matching(cluster):
+    """The Raft Log Matching property, checked pairwise over full logs."""
+    nodes = list(cluster.nodes.values())
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            common = min(a.log.last_index, b.log.last_index)
+            # Find the highest common index where terms agree, then require
+            # both logs to be identical up to it.
+            for index in range(common, 0, -1):
+                term_a, term_b = a.log.term_at(index), b.log.term_at(index)
+                if term_a is None or term_b is None:
+                    continue  # compacted away on one side
+                if term_a == term_b:
+                    for j in range(1, index + 1):
+                        ea, eb = a.log.entry_at(j), b.log.entry_at(j)
+                        if ea is None or eb is None:
+                            continue  # snapshot-compacted prefix
+                        assert (ea.term, ea.command) == (eb.term, eb.command), (
+                            f"log mismatch at {j}: {a.node_id}={ea} "
+                            f"{b.node_id}={eb}")
+                    break
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_election_safety_under_message_loss(seed):
+    env, _network, cluster = build_lossy_cluster(seed=seed, drop=0.10)
+    leaders_by_term = observe_leaders_per_term(env, cluster, until=6.0)
+    assert leaders_by_term, "no leader was ever elected despite 10% loss"
+    for term, leaders in leaders_by_term.items():
+        assert len(leaders) <= 1, (
+            f"election safety violated: term {term} saw leaders {leaders}")
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_election_safety_under_duplication_and_loss(seed):
+    env, network, cluster = build_lossy_cluster(num_nodes=5, seed=seed,
+                                                drop=0.05, duplicate=0.20)
+    leaders_by_term = observe_leaders_per_term(env, cluster, until=6.0)
+    assert network.messages_duplicated > 0, "duplication never triggered"
+    assert leaders_by_term
+    for term, leaders in leaders_by_term.items():
+        assert len(leaders) <= 1
+
+
+@pytest.mark.parametrize("seed", [6, 7])
+def test_log_matching_under_loss_and_duplication(seed):
+    env, _network, cluster = build_lossy_cluster(seed=seed, drop=0.08,
+                                                 duplicate=0.15)
+    env.run(until=2.5)
+    leader = cluster.leader()
+    assert leader is not None
+    events = [leader.propose(("set", f"k{i}", i)) for i in range(15)]
+    deadline = env.now + 30.0
+    for event in events:
+        while not event.processed and env.now < deadline:
+            env.run(until=env.now + 0.25)
+    env.run(until=env.now + 2.0)
+    assert_log_matching(cluster)
+    # Committed state machines must agree on the applied prefix.
+    applied = [[c for c in n.state_machine.applied_commands if c[0] == "set"]
+               for n in cluster.nodes.values()]
+    shortest = min(applied, key=len)
+    for sequence in applied:
+        assert sequence[:len(shortest)] == shortest
+
+
+def test_duplicated_proposals_apply_once_per_commit():
+    """Duplicate AppendEntries deliveries must not double-apply commands."""
+    env, network, cluster = build_lossy_cluster(seed=8, duplicate=0.5)
+    env.run(until=2.0)
+    leader = cluster.leader()
+    events = [leader.propose(("set", f"dup{i}", i)) for i in range(10)]
+    for event in events:
+        env.run(until=event)
+    env.run(until=env.now + 2.0)
+    assert network.messages_duplicated > 0
+    for node in cluster.nodes.values():
+        sets = [c for c in node.state_machine.applied_commands
+                if c[0] == "set"]
+        assert len(sets) == len({c[1] for c in sets}), (
+            f"{node.node_id} applied a duplicated command twice: {sets}")
+
+
 def test_key_value_state_machine_operations():
     machine = KeyValueStateMachine()
     machine.apply(1, ("set", "a", 1))

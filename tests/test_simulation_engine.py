@@ -156,7 +156,7 @@ def test_yielding_non_event_fails_the_process():
     env = Environment()
 
     def bad():
-        yield 12345
+        yield "not-an-event"
 
     def parent():
         with pytest.raises(SimulationError):
@@ -165,6 +165,59 @@ def test_yielding_non_event_fails_the_process():
 
     process = env.process(parent())
     assert env.run(until=process) == "ok"
+
+
+def test_yielding_number_sleeps():
+    """``yield delay`` is the allocation-free equivalent of a timeout."""
+    env = Environment()
+    log = []
+
+    def sleeper():
+        yield 2.5
+        log.append(env.now)
+        yield 1          # ints sleep too
+        log.append(env.now)
+        return env.now
+
+    process = env.process(sleeper())
+    assert env.run(until=process) == 3.5
+    assert log == [2.5, 3.5]
+
+
+def test_yielding_negative_number_fails_the_process():
+    env = Environment()
+
+    def bad():
+        yield -1.0
+
+    def parent():
+        with pytest.raises(SimulationError):
+            yield env.process(bad())
+        return "ok"
+
+    process = env.process(parent())
+    assert env.run(until=process) == "ok"
+
+
+def test_number_sleep_schedules_identically_to_timeout():
+    """Mixed timeout/number sleeps interleave in the same global order."""
+    def run(use_numbers):
+        env = Environment()
+        order = []
+
+        def worker(name, delay):
+            if use_numbers:
+                yield delay
+            else:
+                yield env.timeout(delay)
+            order.append((name, env.now))
+
+        for name, delay in [("a", 1.0), ("b", 1.0), ("c", 0.5), ("d", 1.5)]:
+            env.process(worker(name, delay))
+        env.run()
+        return order
+
+    assert run(True) == run(False)
 
 
 def test_interrupt_wakes_sleeping_process():
@@ -329,6 +382,142 @@ def test_resource_resize_grants_waiters():
     env.process(grower())
     env.run()
     assert granted == [4.0]
+
+
+def test_interrupt_while_waiting_ignores_stale_wakeup():
+    """An interrupted process must not be woken by the event it abandoned."""
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10.0)
+            log.append(("woke-from-timeout", env.now))
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, env.now))
+        # Re-wait: the abandoned 10s timeout still fires at t=10 but must be
+        # ignored as stale; only the new 20s sleep may resume the process.
+        yield env.timeout(20.0)
+        log.append(("woke-from-second", env.now))
+
+    def interrupter(target):
+        yield env.timeout(3.0)
+        target.interrupt("migrate")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run(until=target)
+    assert log == [("interrupted", "migrate", 3.0), ("woke-from-second", 23.0)]
+
+
+def test_interrupt_while_waiting_on_shared_event_leaves_event_intact():
+    """Interrupting one waiter must not consume the event for other waiters."""
+    env = Environment()
+    shared = env.event()
+    log = []
+
+    def waiter(name):
+        try:
+            value = yield shared
+            log.append((name, "got", value, env.now))
+        except Interrupt:
+            log.append((name, "interrupted", env.now))
+
+    first = env.process(waiter("first"))
+    env.process(waiter("second"))
+
+    def driver():
+        yield env.timeout(1.0)
+        first.interrupt()
+        yield env.timeout(1.0)
+        shared.succeed("payload")
+
+    env.process(driver())
+    env.run()
+    assert ("first", "interrupted", 1.0) in log
+    assert ("second", "got", "payload", 2.0) in log
+
+
+def test_unhandled_event_failure_escalates_from_run():
+    """A failed event nobody waits on must not vanish silently."""
+    env = Environment()
+    event = env.event()
+
+    def failer():
+        yield env.timeout(1.0)
+        event.fail(RuntimeError("nobody handles this"))
+
+    env.process(failer())
+    with pytest.raises(RuntimeError, match="nobody handles this"):
+        env.run()
+
+
+def test_defused_failure_does_not_escalate():
+    """Setting defused marks the failure as handled out-of-band."""
+    env = Environment()
+    event = env.event()
+
+    def failer():
+        yield env.timeout(1.0)
+        event.fail(RuntimeError("pre-acknowledged"))
+        event.defused = True
+
+    env.process(failer())
+    env.run()  # must not raise
+    assert event.defused and not event.ok
+
+
+def test_waiter_defuses_failure_automatically():
+    env = Environment()
+    event = env.event()
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError:
+            pass
+
+    def failer():
+        yield env.timeout(1.0)
+        event.fail(RuntimeError("handled by waiter"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()  # the waiter absorbed the failure; nothing escalates
+    assert event.defused
+
+
+def test_uncaught_interrupt_kills_process_without_escalating():
+    """Interrupt-to-death is cancellation, not an engine-level error."""
+    env = Environment()
+
+    def stubborn():
+        yield env.timeout(100.0)  # never catches Interrupt
+
+    target = env.process(stubborn())
+    def killer():
+        yield env.timeout(1.0)
+        target.interrupt("shutdown")
+
+    env.process(killer())
+    env.run()  # must not raise
+    assert not target.is_alive
+    assert target.defused
+    with pytest.raises(Interrupt):
+        _ = target.value
+
+
+def test_unhandled_process_crash_escalates_from_run():
+    """A background process dying of a real bug surfaces at run()."""
+    env = Environment()
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise ValueError("bug in background process")
+
+    env.process(crasher())
+    with pytest.raises(ValueError, match="bug in background process"):
+        env.run()
 
 
 def test_determinism_same_structure_same_schedule():
