@@ -7,6 +7,10 @@ This package models the physical/virtual infrastructure NotebookOS runs on:
 * :mod:`repro.cluster.gpu` — individual GPU devices and per-host allocators;
 * :mod:`repro.cluster.host` — an 8-GPU server with committed and subscribed
   resource accounting (the *subscription ratio* of §3.4.1);
+* :mod:`repro.cluster.index` — incrementally maintained host orderings
+  (placement rank, idle set, idle-GPU histogram) kept current by the
+  ``Host -> ClusterState`` delta hooks, so scheduling decisions are
+  O(log n + k) instead of full-cluster sorts;
 * :mod:`repro.cluster.container` — kernel-replica containers with cold/warm
   start latency models;
 * :mod:`repro.cluster.prewarmer` — the pre-warmed container pool used to hide
@@ -20,6 +24,7 @@ This package models the physical/virtual infrastructure NotebookOS runs on:
 from repro.cluster.resources import ResourcePool, ResourceRequest
 from repro.cluster.gpu import GPUAllocator, GPUDevice
 from repro.cluster.host import Host, HostSpec
+from repro.cluster.index import HostIndex, rank_key
 from repro.cluster.container import (
     Container,
     ContainerLatencyModel,
@@ -49,6 +54,7 @@ __all__ = [
     "GPUDevice",
     "HDFS_BACKEND",
     "Host",
+    "HostIndex",
     "HostSpec",
     "PrewarmPolicy",
     "ProvisioningRequest",
@@ -58,4 +64,5 @@ __all__ = [
     "S3_BACKEND",
     "StoredObject",
     "VMProvisioner",
+    "rank_key",
 ]

@@ -55,10 +55,18 @@ class Host:
         self._subscriptions: Dict[str, int] = {}
         # kernel_id -> GPUs actively committed to a running training task.
         self._active_trainings: Dict[str, int] = {}
+        # Running totals of the two dicts above plus the GPU allocator, kept
+        # exact (same integers a scan would sum) so the placement rank key
+        # reads three ints instead of summing dicts and scanning devices.
+        self._subscribed_total = 0
+        self._committed_total = 0
+        self._allocated_gpus = 0
         self.containers: Dict[str, object] = {}
         # The ClusterState this host reports aggregate deltas to (set via
         # attach_cluster); lets the metrics sampler read cluster totals in
-        # O(1) instead of re-scanning every host each interval.
+        # O(1) instead of re-scanning every host each interval, and keeps the
+        # cluster's placement HostIndex positioned as this host's counters
+        # change.
         self._cluster = None
 
     def attach_cluster(self, cluster) -> None:
@@ -87,19 +95,21 @@ class Host:
     @property
     def subscribed_gpus(self) -> int:
         """Total GPUs requested by kernel replicas scheduled on this host."""
-        return sum(self._subscriptions.values())
+        return self._subscribed_total
 
     def subscribe(self, kernel_id: str, gpus: int) -> None:
         """Record that a replica of ``kernel_id`` subscribes ``gpus`` GPUs."""
         self._subscriptions[kernel_id] = self._subscriptions.get(kernel_id, 0) + gpus
+        self._subscribed_total += gpus
         if self._cluster is not None and self.decommissioned_at is None:
-            self._cluster._subscribed_delta(gpus)
+            self._cluster._subscribed_delta(gpus, self)
 
     def unsubscribe(self, kernel_id: str) -> None:
         """Remove the subscription of ``kernel_id`` (replica removed)."""
         removed = self._subscriptions.pop(kernel_id, 0)
+        self._subscribed_total -= removed
         if removed and self._cluster is not None and self.decommissioned_at is None:
-            self._cluster._subscribed_delta(-removed)
+            self._cluster._subscribed_delta(-removed, self)
 
     def has_subscription(self, kernel_id: str) -> bool:
         return kernel_id in self._subscriptions
@@ -115,11 +125,11 @@ class Host:
     # ------------------------------------------------------------------
     @property
     def idle_gpus(self) -> int:
-        return self.gpus.idle_count
+        return self.spec.num_gpus - self._allocated_gpus
 
     @property
     def allocated_gpus(self) -> int:
-        return self.gpus.allocated_count
+        return self._allocated_gpus
 
     @property
     def active_training_count(self) -> int:
@@ -128,26 +138,35 @@ class Host:
     @property
     def committed_training_gpus(self) -> int:
         """GPUs currently bound to actively executing kernel replicas."""
-        return sum(self._active_trainings.values())
+        return self._committed_total
 
     def can_bind_gpus(self, count: int) -> bool:
-        return self.gpus.can_allocate(count)
+        return count <= self.spec.num_gpus - self._allocated_gpus
 
     def bind_gpus(self, kernel_id: str, count: int, now: float) -> list[int]:
         """Exclusively bind ``count`` GPUs to ``kernel_id`` for a cell task."""
         device_ids = self.gpus.allocate(kernel_id, count, now)
+        self._allocated_gpus += len(device_ids)
         previous = self._active_trainings.get(kernel_id, 0)
         self._active_trainings[kernel_id] = count
+        self._committed_total += count - previous
         if self._cluster is not None and self.decommissioned_at is None:
-            self._cluster._committed_delta(count - previous)
+            self._cluster._committed_delta(count - previous, self)
         return device_ids
 
     def release_gpus(self, kernel_id: str, now: float) -> int:
         """Release all GPUs bound to ``kernel_id``."""
         released = self.gpus.release(kernel_id, now)
-        removed = self._active_trainings.pop(kernel_id, 0)
-        if removed and self._cluster is not None and self.decommissioned_at is None:
-            self._cluster._committed_delta(-removed)
+        self._allocated_gpus -= released
+        entry = self._active_trainings.pop(kernel_id, None)
+        removed = entry or 0
+        self._committed_total -= removed
+        # Fire whenever anything observable changed — devices released
+        # (idle_gpus ranks the host) or a training entry dropped (even a
+        # zero-GPU one flips is_idle) — so the cluster index stays current.
+        if (released or entry is not None) and self._cluster is not None \
+                and self.decommissioned_at is None:
+            self._cluster._committed_delta(-removed, self)
         return released
 
     @property

@@ -107,12 +107,12 @@ class ContainerPrewarmer:
         runtime = self._runtimes.get(host_id)
         if runtime is None:
             return None
-        container = yield self.env.process(
-            runtime.provision(self.default_resources, prewarmed=False))
+        container = yield from runtime.provision(
+            self.default_resources, prewarmed=False)
         pool = self._pools.get(host_id)
         if pool is None:
             # Host vanished while warming; discard the container.
-            yield self.env.process(runtime.terminate(container))
+            yield from runtime.terminate(container)
             return None
         if len(pool) < self.policy.max_per_host:
             pool.append(container)

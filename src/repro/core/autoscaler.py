@@ -76,8 +76,7 @@ class AutoScaler:
             add = self.hosts_to_add(committed, current, gpus_per_host)
             if add > 0:
                 self.scale_out_decisions += 1
-                yield self.env.process(self.scheduler.scale_out(
-                    add, reason="auto-scaler"))
+                yield from self.scheduler.scale_out(add, reason="auto-scaler")
                 continue
             idle_hosts = [h for h in self.scheduler.cluster.idle_hosts()
                           if h.container_count == 0]
@@ -85,4 +84,4 @@ class AutoScaler:
                                             len(idle_hosts))
             if release > 0:
                 self.scale_in_decisions += 1
-                yield self.env.process(self.scheduler.scale_in(release))
+                yield from self.scheduler.scale_in(release)

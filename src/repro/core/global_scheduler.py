@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.cluster.datastore import DistributedDataStore
 from repro.cluster.host import Host
+from repro.cluster.index import HostIndex
 from repro.cluster.prewarmer import ContainerPrewarmer
 from repro.cluster.provisioner import VMProvisioner
 from repro.cluster.resources import ResourceRequest
@@ -42,6 +43,12 @@ class ClusterState:
     The incremental totals are exact — they are updated with the same
     integers a scan would sum, so sampled values are bit-identical to the
     scanning implementation (the golden-metrics tests pin this).
+
+    The same delta hooks keep a :class:`~repro.cluster.index.HostIndex`
+    positioned: active hosts stay sorted by the least-loaded placement rank
+    key and bucketed by idle-GPU count, so placement queries walk a
+    pre-sorted list (O(log n + k) per decision) instead of re-sorting the
+    whole cluster — selecting hosts bit-identically to the sort they replace.
     """
 
     def __init__(self, env: Environment) -> None:
@@ -53,6 +60,8 @@ class ClusterState:
         self._total_gpus = 0
         self._committed_training_gpus = 0
         self._subscribed_gpus = 0
+        # Incrementally maintained placement orderings over active hosts.
+        self.index = HostIndex()
 
     def add_host(self, host: Host, scheduler: LocalScheduler) -> None:
         self.hosts[host.host_id] = host
@@ -63,6 +72,7 @@ class ClusterState:
             self._total_gpus += host.spec.num_gpus
             self._committed_training_gpus += host.committed_training_gpus
             self._subscribed_gpus += host.subscribed_gpus
+            self.index.add(host)
 
     def remove_host(self, host_id: str) -> None:
         host = self.hosts.pop(host_id, None)
@@ -73,6 +83,7 @@ class ClusterState:
                 self._total_gpus -= host.spec.num_gpus
                 self._committed_training_gpus -= host.committed_training_gpus
                 self._subscribed_gpus -= host.subscribed_gpus
+                self.index.discard(host)
             host.attach_cluster(None)
 
     # ------------------------------------------------------------------
@@ -84,12 +95,15 @@ class ClusterState:
         self._total_gpus -= host.spec.num_gpus
         self._committed_training_gpus -= host.committed_training_gpus
         self._subscribed_gpus -= host.subscribed_gpus
+        self.index.discard(host)
 
-    def _committed_delta(self, delta: int) -> None:
+    def _committed_delta(self, delta: int, host: Host) -> None:
         self._committed_training_gpus += delta
+        self.index.reindex(host)
 
-    def _subscribed_delta(self, delta: int) -> None:
+    def _subscribed_delta(self, delta: int, host: Host) -> None:
         self._subscribed_gpus += delta
+        self.index.reindex(host)
 
     @property
     def active_hosts(self) -> List[Host]:
@@ -110,8 +124,25 @@ class ClusterState:
         return self._committed_training_gpus
 
     def idle_hosts(self) -> List[Host]:
-        """Hosts with no replica actively training (candidates for scale-in)."""
-        return [h for h in self.active_hosts if h.is_idle]
+        """Hosts with no replica actively training (candidates for scale-in).
+
+        Served from the index in cluster-insertion order — the same order the
+        previous active-host scan produced.
+        """
+        return self.index.idle_hosts()
+
+    def iter_ranked(self):
+        """Active hosts in least-loaded placement rank order, O(1) to start."""
+        return self.index.iter_ranked()
+
+    def hosts_with_idle_gpus(self, min_idle: int) -> int:
+        """Number of active hosts with at least ``min_idle`` idle GPUs."""
+        return self.index.hosts_with_idle_gpus(min_idle)
+
+    def most_idle_host(self, min_idle: int) -> Optional[Host]:
+        """The active host maximizing ``(idle_gpus, host_id)`` with at least
+        ``min_idle`` idle GPUs, or ``None``."""
+        return self.index.most_idle_host(min_idle)
 
     def subscription_ratio(self, replication_factor: int) -> float:
         """Cluster-wide SR from the incremental totals (matches a scan)."""
@@ -165,15 +196,15 @@ class GlobalScheduler:
         replication = replication_factor or self.config.replication_factor
         kernel_id = self.next_kernel_id()
         decision = self.placement.candidate_hosts(
-            self.cluster.active_hosts, resource_request, replication, replication)
+            self.cluster, resource_request, replication, replication)
         if not decision.satisfied:
             # §3.4.2: a failed placement triggers scale-out; placement resumes
             # once the new servers have registered.
             deficit = replication - len(decision.hosts)
-            yield self.env.process(self.scale_out(
-                max(1, deficit), reason=f"placement failure for {kernel_id}"))
+            yield from self.scale_out(
+                max(1, deficit), reason=f"placement failure for {kernel_id}")
             decision = self.placement.candidate_hosts(
-                self.cluster.active_hosts, resource_request, replication, replication)
+                self.cluster, resource_request, replication, replication)
             if not decision.satisfied:
                 # Fall back to reusing the least-loaded hosts even if the SR
                 # limit is exceeded, rather than failing the user's kernel.
@@ -260,9 +291,8 @@ class GlobalScheduler:
         large_objects = [obj for obj in kernel.namespace_objects()
                          if obj.size_bytes >= 1024 * 1024]
         if kernel.synchronizer is not None and large_objects:
-            yield self.env.process(
-                kernel.synchronizer.checkpoint_manager.checkpoint_all(
-                    large_objects, node_id=victim.replica_id))
+            yield from kernel.synchronizer.checkpoint_manager.checkpoint_all(
+                large_objects, node_id=victim.replica_id)
 
         # Find a target host that can immediately and exclusively bind the GPUs.
         request = ResourceRequest(millicpus=kernel.resource_request.millicpus,
@@ -272,7 +302,7 @@ class GlobalScheduler:
         target: Optional[Host] = None
         for attempt in range(self.config.migration_max_retries + 1):
             target = self.placement.migration_target(
-                self.cluster.active_hosts, request, self.config.replication_factor,
+                self.cluster, request, self.config.replication_factor,
                 exclude_hosts=kernel.host_ids)
             if target is not None:
                 break
@@ -297,19 +327,18 @@ class GlobalScheduler:
         # Provision the new replica (pre-warmed container if available).
         scheduler = self.cluster.scheduler_for(target.host_id)
         prefer_prewarmed = self.prewarmer.available(target.host_id) > 0
-        new_replica = yield self.env.process(scheduler.start_kernel_replica(
-            kernel, victim.replica_index, prefer_prewarmed=prefer_prewarmed))
+        new_replica = yield from scheduler.start_kernel_replica(
+            kernel, victim.replica_index, prefer_prewarmed=prefer_prewarmed)
 
         # The new replica restores persisted state from remote storage.
         if kernel.synchronizer is not None and \
                 kernel.synchronizer.checkpoint_manager.checkpointed_names:
-            yield self.env.process(
-                kernel.synchronizer.checkpoint_manager.restore_all(
-                    node_id=new_replica.replica_id))
+            yield from kernel.synchronizer.checkpoint_manager.restore_all(
+                node_id=new_replica.replica_id)
 
         # Terminate the original replica and reconfigure the Raft group.
         old_scheduler = self.cluster.scheduler_for(victim.host_id)
-        yield self.env.process(old_scheduler.terminate_replica(victim))
+        yield from old_scheduler.terminate_replica(victim)
         kernel.remove_replica(victim.replica_id)
         kernel.add_replica(new_replica)
         kernel.migrations += 1
@@ -324,7 +353,7 @@ class GlobalScheduler:
         """Simulation process: provision ``num_hosts`` additional GPU servers."""
         if num_hosts <= 0:
             return []
-        current = len(self.cluster.active_hosts)
+        current = self.cluster.active_host_count
         allowed = max(0, self.cluster_config.max_hosts - current - self.pending_scale_out)
         num_hosts = min(num_hosts, allowed)
         if num_hosts <= 0:
@@ -353,7 +382,7 @@ class GlobalScheduler:
         max_hosts = max_hosts or self.config.max_scale_in_per_round
         releasable = [h for h in self.cluster.idle_hosts()
                       if h.container_count == 0 and h.subscribed_gpus == 0]
-        current = len(self.cluster.active_hosts)
+        current = self.cluster.active_host_count
         can_release = max(0, current - self.cluster_config.min_hosts)
         to_release = releasable[:min(max_hosts, can_release)]
         for host in to_release:
@@ -361,7 +390,7 @@ class GlobalScheduler:
             # decisions stop considering it before we yield.
             host.decommission(self.env.now)
             scheduler = self.cluster.scheduler_for(host.host_id)
-            yield self.env.process(scheduler.decommission())
+            yield from scheduler.decommission()
             self.provisioner.release(host)
             self.cluster.remove_host(host.host_id)
         if to_release:
@@ -377,19 +406,19 @@ class GlobalScheduler:
         self.metrics.record_event(self.env.now, EventKind.REPLICA_FAILURE,
                                   f"{kernel.kernel_id}/{replica.replica_id}")
         scheduler = self.cluster.scheduler_for(replica.host_id)
-        yield self.env.process(scheduler.terminate_replica(replica))
+        yield from scheduler.terminate_replica(replica)
         kernel.remove_replica(replica.replica_id)
         decision = self.placement.candidate_hosts(
-            self.cluster.active_hosts, kernel.resource_request, 1,
+            self.cluster, kernel.resource_request, 1,
             self.config.replication_factor, exclude_hosts=kernel.host_ids)
         target = decision.hosts[0] if decision.hosts else replica.host
         new_scheduler = self.cluster.scheduler_for(target.host_id)
-        new_replica = yield self.env.process(new_scheduler.start_kernel_replica(
+        new_replica = yield from new_scheduler.start_kernel_replica(
             kernel, replica.replica_index,
-            prefer_prewarmed=self.prewarmer.available(target.host_id) > 0))
+            prefer_prewarmed=self.prewarmer.available(target.host_id) > 0)
         if kernel.synchronizer is not None and \
                 kernel.synchronizer.checkpoint_manager.checkpointed_names:
-            yield self.env.process(kernel.synchronizer.checkpoint_manager.restore_all(
-                node_id=new_replica.replica_id))
+            yield from kernel.synchronizer.checkpoint_manager.restore_all(
+                node_id=new_replica.replica_id)
         kernel.add_replica(new_replica)
         return new_replica

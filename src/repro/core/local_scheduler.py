@@ -76,8 +76,8 @@ class LocalScheduler:
                 # The pre-warmed container only needs a warm (re)start.
                 yield self.runtime.latency_model.warm_start(self._rng)
         if container is None:
-            container = yield self.env.process(
-                self.runtime.provision(kernel.resource_request, prewarmed=False))
+            container = yield from self.runtime.provision(
+                kernel.resource_request, prewarmed=False)
         replica_id = (f"{kernel.kernel_id}-replica-{replica_index}-"
                       f"{self.env.next_serial('replica')}")
         container.assign(kernel.kernel_id, replica_id)
@@ -100,7 +100,7 @@ class LocalScheduler:
             self.host.unsubscribe(replica.kernel_id)
         if replica.kernel_id in self.host.gpus.owners():
             self.host.release_gpus(replica.kernel_id, self.env.now)
-        yield self.env.process(self.runtime.terminate(replica.container))
+        yield from self.runtime.terminate(replica.container)
         return replica
 
     # ------------------------------------------------------------------
@@ -120,7 +120,7 @@ class LocalScheduler:
     def decommission(self):
         """Simulation process: terminate every replica (host scale-in)."""
         for replica in list(self.replicas.values()):
-            yield self.env.process(self.terminate_replica(replica))
+            yield from self.terminate_replica(replica)
         if self.prewarmer is not None:
             self.prewarmer.unregister_host(self.host_id)
         return True

@@ -6,15 +6,44 @@ policy favours the *least-loaded* hosts (fewest actively used GPUs, then most
 idle GPUs), subject to a cluster-wide subscription-ratio (SR) limit: placing
 a replica on a host must not push that host's SR above the dynamically
 computed cluster-wide limit.
+
+Placement queries accept either a plain sequence of :class:`Host` objects or
+a :class:`~repro.core.global_scheduler.ClusterState`.  A cluster state serves
+the query from its incrementally maintained
+:class:`~repro.cluster.index.HostIndex` — O(log n + k) per decision instead
+of an O(n log n) sort — while a host sequence takes the sort-based slow path.
+Both paths select the *same hosts in the same order*: the index keeps hosts
+in exactly the order ``sorted(active_hosts, key=rank)`` produces (the rank
+key embeds the host id, so keys are unique and ties are impossible), and the
+golden-metrics and property tests pin the equivalence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.cluster.host import Host
 from repro.cluster.resources import ResourceRequest
+
+#: Either an indexed cluster view or a plain host sequence (tests, tools).
+HostSource = Union["ClusterState", Sequence[Host]]  # noqa: F821 - forward ref
+
+
+def cluster_subscription_ratio(hosts: HostSource, replication_factor: int) -> float:
+    """The cluster-wide SR: ΣS / (ΣG · R) as defined in §3.4.1.
+
+    A :class:`ClusterState` answers from its incremental totals (exact — the
+    same integers a scan would sum); a host sequence is scanned.
+    """
+    ratio = getattr(hosts, "subscription_ratio", None)
+    if ratio is not None:
+        return ratio(replication_factor)
+    total_gpus = sum(h.spec.num_gpus for h in hosts if h.is_active)
+    if total_gpus == 0 or replication_factor == 0:
+        return 0.0
+    total_subscribed = sum(h.subscribed_gpus for h in hosts if h.is_active)
+    return total_subscribed / (total_gpus * replication_factor)
 
 
 @dataclass
@@ -30,27 +59,18 @@ class PlacementDecision:
         return [host.host_id for host in self.hosts]
 
 
-def cluster_subscription_ratio(hosts: Sequence[Host], replication_factor: int) -> float:
-    """The cluster-wide SR: ΣS / (ΣG · R) as defined in §3.4.1."""
-    total_gpus = sum(h.spec.num_gpus for h in hosts if h.is_active)
-    if total_gpus == 0 or replication_factor == 0:
-        return 0.0
-    total_subscribed = sum(h.subscribed_gpus for h in hosts if h.is_active)
-    return total_subscribed / (total_gpus * replication_factor)
-
-
 class PlacementPolicy:
     """Interface for pluggable replica placement policies."""
 
     name = "base"
 
-    def candidate_hosts(self, hosts: Sequence[Host], request: ResourceRequest,
+    def candidate_hosts(self, hosts: HostSource, request: ResourceRequest,
                         replicas_needed: int, replication_factor: int,
                         exclude_hosts: Sequence[str] = ()) -> PlacementDecision:
         """Pick ``replicas_needed`` hosts for replicas of a kernel."""
         raise NotImplementedError
 
-    def migration_target(self, hosts: Sequence[Host], request: ResourceRequest,
+    def migration_target(self, hosts: HostSource, request: ResourceRequest,
                          replication_factor: int,
                          exclude_hosts: Sequence[str] = ()) -> Optional[Host]:
         """Pick a host that can *immediately and exclusively* bind the GPUs."""
@@ -83,7 +103,7 @@ class LeastLoadedPlacement(PlacementPolicy):
     # ------------------------------------------------------------------
     # SR limit handling.
     # ------------------------------------------------------------------
-    def effective_sr_limit(self, hosts: Sequence[Host], replication_factor: int) -> float:
+    def effective_sr_limit(self, hosts: HostSource, replication_factor: int) -> float:
         """The SR ceiling applied to individual hosts.
 
         The paper computes a *dynamic* cluster-wide limit equal to the current
@@ -105,10 +125,18 @@ class LeastLoadedPlacement(PlacementPolicy):
         return (host.committed_training_gpus, -host.idle_gpus, host.subscribed_gpus,
                 host.host_id)
 
+    def _ranked_active(self, hosts: HostSource) -> Iterable[Host]:
+        """Active hosts in rank order: from the index when available,
+        otherwise the frozen sort-based path (bit-identical ordering)."""
+        ranked = getattr(hosts, "iter_ranked", None)
+        if ranked is not None:
+            return ranked()
+        return sorted((h for h in hosts if h.is_active), key=self._rank)
+
     # ------------------------------------------------------------------
     # Placement queries.
     # ------------------------------------------------------------------
-    def candidate_hosts(self, hosts: Sequence[Host], request: ResourceRequest,
+    def candidate_hosts(self, hosts: HostSource, request: ResourceRequest,
                         replicas_needed: int, replication_factor: int,
                         exclude_hosts: Sequence[str] = ()) -> PlacementDecision:
         excluded = set(exclude_hosts)
@@ -129,16 +157,17 @@ class LeastLoadedPlacement(PlacementPolicy):
                                             f"{self.high_watermark:.2f})")
         return PlacementDecision(hosts=viable, satisfied=True, reason="ok")
 
-    def _collect(self, hosts: Sequence[Host], request: ResourceRequest,
+    def _collect(self, hosts: HostSource, request: ResourceRequest,
                  replicas_needed: int, replication_factor: int,
                  excluded: set, sr_limit: float) -> List[Host]:
         viable: List[Host] = []
-        for host in sorted((h for h in hosts if h.is_active), key=self._rank):
+        oversubscribed = self.oversubscription_enabled
+        for host in self._ranked_active(hosts):
             if host.host_id in excluded:
                 continue
             if request.gpus > host.spec.num_gpus:
                 continue
-            if self.oversubscription_enabled:
+            if oversubscribed:
                 if self._host_sr_after(host, request, replication_factor) > sr_limit + 1e-9:
                     continue
             else:
@@ -149,13 +178,21 @@ class LeastLoadedPlacement(PlacementPolicy):
                 break
         return viable
 
-    def migration_target(self, hosts: Sequence[Host], request: ResourceRequest,
+    def migration_target(self, hosts: HostSource, request: ResourceRequest,
                          replication_factor: int,
                          exclude_hosts: Sequence[str] = ()) -> Optional[Host]:
-        excluded = set(exclude_hosts)
-        candidates = [h for h in hosts
-                      if h.is_active and h.host_id not in excluded
-                      and h.idle_gpus >= request.gpus]
-        if not candidates:
+        available = getattr(hosts, "hosts_with_idle_gpus", None)
+        if available is not None and request.gpus > 0 \
+                and not available(request.gpus):
+            # No active host has enough idle GPUs — the common case while the
+            # cluster is saturated and a migration retries on an interval.
             return None
-        return sorted(candidates, key=self._rank)[0]
+        excluded = set(exclude_hosts)
+        needed = request.gpus
+        # The first host in rank order satisfying the predicate is the
+        # minimum-rank candidate — identical to sorting the filtered
+        # candidate list and taking its head, without building either.
+        for host in self._ranked_active(hosts):
+            if host.idle_gpus >= needed and host.host_id not in excluded:
+                return host
+        return None

@@ -156,7 +156,18 @@ class NotebookOSPlatform:
         self.metrics.record_event(env.now, EventKind.SESSION_STARTED,
                                   session.session_id)
         try:
-            yield env.process(self.policy.on_session_start(self, session))
+            # The zero-sleeps bracketing the two session-lifecycle hooks
+            # reproduce the bootstrap/completion event timing of the
+            # ``yield env.process(hook)`` form they replaced: hooks like
+            # Reservation's subscribe/unsubscribe mutate host state the
+            # metrics sampler can observe at the same instant, so their
+            # synchronous prefix/suffix must run at exactly the event-pop
+            # they used to (golden-pinned), just without the Process
+            # allocation.  execute_task below needs no bracket: its
+            # synchronous edges touch only task-local state.
+            yield 0.0
+            yield from self.policy.on_session_start(self, session)
+            yield 0.0
             for task in sorted(session.tasks, key=lambda t: t.submit_time):
                 if task.submit_time > env.now:
                     yield task.submit_time - env.now
@@ -166,15 +177,17 @@ class NotebookOSPlatform:
                 if task.is_gpu_task:
                     self.active_training_count += 1
                 try:
-                    yield env.process(self.policy.execute_task(self, session, task,
-                                                               metrics))
+                    yield from self.policy.execute_task(self, session, task,
+                                                        metrics)
                 finally:
                     if task.is_gpu_task:
                         self.active_training_count -= 1
                 self.breakdown.add(metrics.steps)
             if session.end_time > env.now:
                 yield session.end_time - env.now
-            yield env.process(self.policy.on_session_end(self, session))
+            yield 0.0
+            yield from self.policy.on_session_end(self, session)
+            yield 0.0
         finally:
             # Non-yielding bookkeeping only: this block must stay safe even if
             # the session process is torn down with an exception in flight.

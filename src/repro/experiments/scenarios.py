@@ -192,9 +192,55 @@ def _cluster_scale_configs(spec: ScenarioSpec, trace: Trace):
             cluster_scale_cluster_config(spec.policy, trace))
 
 
+def mega_scale_platform_config() -> PlatformConfig:
+    """Platform configuration for the ~1000-host stress scenario.
+
+    Control loops are relaxed further than ``cluster_scale``: at this size
+    the workload itself dominates, and a 10-minute sampling/autoscaling
+    cadence keeps the per-interval bookkeeping negligible without changing
+    what the scenario exercises (placement-decision throughput).
+    """
+    return PlatformConfig(
+        metrics_sample_interval_s=600.0,
+        autoscaler_interval_s=600.0,
+        prewarm_policy=PrewarmPolicy(initial_per_host=1, min_per_host=1,
+                                     replenish_interval=7200.0))
+
+
+def mega_scale_cluster_config(policy: str, trace: Trace) -> ClusterConfig:
+    """Size a ~1000-host cluster to the trace's peak GPU demand.
+
+    Oversubscribing policies start at peak/1.5 (``peak // 12`` 8-GPU hosts —
+    about 930 hosts for the default 5000-session trace) and may scale out to
+    fully provisioned peak plus headroom; Reservation/Batch cannot
+    oversubscribe and get the fully provisioned sizing up front.
+    """
+    events = []
+    for session in trace:
+        events.append((session.start_time, session.gpus_requested))
+        events.append((session.end_time, -session.gpus_requested))
+    peak = current = 0
+    for _, delta in sorted(events):
+        current += delta
+        peak = max(peak, current)
+    gpus_per_host = 8
+    if policy in ("notebookos", "lcp"):
+        initial = max(400, peak // 12)
+    else:
+        initial = max(400, peak // gpus_per_host + 8)
+    return ClusterConfig(initial_hosts=initial,
+                         max_hosts=max(initial + 64, peak // gpus_per_host + 64))
+
+
+def _mega_scale_configs(spec: ScenarioSpec, trace: Trace):
+    return (mega_scale_platform_config(),
+            mega_scale_cluster_config(spec.policy, trace))
+
+
 register_config_preset("default", _default_configs)
 register_config_preset("long_run", _long_run_configs)
 register_config_preset("cluster_scale", _cluster_scale_configs)
+register_config_preset("mega_scale", _mega_scale_configs)
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +313,8 @@ SIMULATION_SESSIONS = 60       # scaled-down stand-in for the 433-session trace
 SIMULATION_DAYS = 90
 CLUSTER_SCALE_SESSIONS = 2000  # thousands of sessions on hundreds of hosts
 CLUSTER_SCALE_HOURS = 6.0
+MEGA_SCALE_SESSIONS = 5000     # placement stress: ~1000 hosts (bench_placement.py)
+MEGA_SCALE_HOURS = 8.0
 
 _DEFAULT_REGISTRY: Optional[ScenarioRegistry] = None
 
@@ -310,5 +358,16 @@ def default_registry() -> ScenarioRegistry:
                               "work_bout_hours": 1.5,
                               "bouts_per_day": 3.0},
             config_preset="cluster_scale"))
+        registry.register(Scenario(
+            name="mega_scale",
+            description=f"{MEGA_SCALE_SESSIONS} sessions over "
+                        f"{MEGA_SCALE_HOURS:g} hours on ~1000 hosts — "
+                        "placement stress test (see bench_placement.py)",
+            generator="adobe", default_seed=5,
+            generator_kwargs={"num_sessions": MEGA_SCALE_SESSIONS,
+                              "duration_hours": MEGA_SCALE_HOURS,
+                              "work_bout_hours": 1.5,
+                              "bouts_per_day": 3.0},
+            config_preset="mega_scale"))
         _DEFAULT_REGISTRY = registry
     return _DEFAULT_REGISTRY

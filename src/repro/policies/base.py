@@ -60,28 +60,37 @@ class SchedulingPolicy:
     @staticmethod
     def request_ingress(platform: "NotebookOSPlatform", steps: StepLatencies,
                         gs_extra: float = 0.0):
-        """Simulation process: client → GS → LS → kernel request path.
+        """Request-path helper: client → GS → LS → kernel hops (a generator —
+        callers ``yield from`` it inside their own process).
 
         Records steps (1)–(5) of Figure 15.  ``gs_extra`` adds policy-specific
         Global Scheduler work (queueing, on-demand provisioning) to step (1).
+
+        Nothing observable happens between the constant-delay hops, so the
+        whole chain is batched into **one** scheduled wake-up: the per-hop
+        delays are accumulated into an absolute wake time with the same float
+        additions the individual sleeps performed (bit-identical timestamps)
+        and slept through with a single ``env.at`` event instead of three.
         """
         config = platform.config
         env = platform.env
         # Jupyter Server processing plus the hop to the Global Scheduler is
         # part of the (unnumbered) client-side path; it is tiny and constant.
-        yield config.jupyter_processing_s + config.network_hop_s
+        wake = env.now + (config.jupyter_processing_s + config.network_hop_s)
         steps.record("gs_process_request", config.gs_processing_s + gs_extra)
-        yield config.gs_processing_s + gs_extra
+        wake = wake + (config.gs_processing_s + gs_extra)
         steps.record("gs_to_ls_hop", config.network_hop_s)
         steps.record("ls_process_request", config.ls_processing_s)
         steps.record("ls_to_kernel_hop", config.network_hop_s)
         steps.record("kernel_preprocess", config.kernel_preprocess_s)
-        yield (2 * config.network_hop_s + config.ls_processing_s
-               + config.kernel_preprocess_s)
+        wake = wake + (2 * config.network_hop_s + config.ls_processing_s
+                       + config.kernel_preprocess_s)
+        yield env.at(wake)
 
     @staticmethod
     def reply_egress(platform: "NotebookOSPlatform", steps: StepLatencies):
-        """Simulation process: kernel → LS → GS → client reply path (step 10+)."""
+        """Request-path helper: kernel → LS → GS → client reply (step 10+);
+        callers ``yield from`` it — already a single sleep."""
         config = platform.config
         steps.record("kernel_to_ls_hop", config.network_hop_s)
         yield 3 * config.network_hop_s + config.jupyter_processing_s
@@ -106,12 +115,12 @@ class SchedulingPolicy:
         key_prefix = f"staging/{session.session_id}"
         datastore = platform.datastore
         if not datastore.contains(f"{key_prefix}/model"):
-            yield env.process(datastore.write(f"{key_prefix}/model", model_bytes,
-                                              owner=owner))
-            yield env.process(datastore.write(f"{key_prefix}/dataset", dataset_bytes,
-                                              owner=owner))
-        yield env.process(datastore.read(f"{key_prefix}/model", node_id=node_id))
-        yield env.process(datastore.read(f"{key_prefix}/dataset", node_id=node_id))
+            yield from datastore.write(f"{key_prefix}/model", model_bytes,
+                                       owner=owner)
+            yield from datastore.write(f"{key_prefix}/dataset", dataset_bytes,
+                                       owner=owner)
+        yield from datastore.read(f"{key_prefix}/model", node_id=node_id)
+        yield from datastore.read(f"{key_prefix}/dataset", node_id=node_id)
         return env.now - start
 
     @staticmethod
@@ -123,7 +132,7 @@ class SchedulingPolicy:
         assignment = session.assignment
         model_bytes = (assignment.model.parameter_bytes if assignment
                        else 200 * 1024 ** 2)
-        yield env.process(platform.datastore.write(
+        yield from platform.datastore.write(
             f"staging/{session.session_id}/model", model_bytes, owner=owner,
-            node_id=node_id))
+            node_id=node_id)
         return env.now - start

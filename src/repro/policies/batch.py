@@ -40,10 +40,10 @@ class BatchPolicy(SchedulingPolicy):
     # FCFS admission.
     # ------------------------------------------------------------------
     def _find_host(self, platform: "NotebookOSPlatform", gpus: int) -> Optional[Host]:
-        candidates = [h for h in platform.cluster.active_hosts if h.idle_gpus >= gpus]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda h: (h.idle_gpus, h.host_id))
+        # Served by the cluster's host index: the idle-GPU histogram rejects
+        # hopeless polls O(1) while the FCFS queue waits for capacity, and a
+        # hit picks max(idle_gpus, host_id) without materializing host lists.
+        return platform.cluster.most_idle_host(gpus)
 
     def _acquire_host(self, platform: "NotebookOSPlatform", gpus: int):
         """Simulation process: FCFS-wait until some host has ``gpus`` idle GPUs."""
@@ -74,22 +74,22 @@ class BatchPolicy(SchedulingPolicy):
         # Step (1): queueing for GPUs plus on-demand container provisioning
         # both happen before the request ever reaches a kernel (Figure 17).
         queue_start = env.now
-        host = yield env.process(self._acquire_host(platform, max(gpus, 1) if gpus else 0))
+        host = yield from self._acquire_host(platform, max(gpus, 1) if gpus else 0)
         scheduler = platform.cluster.scheduler_for(host.host_id)
         if gpus:
             host.bind_gpus(job_id, gpus, env.now)
-        container = yield env.process(
-            scheduler.runtime.provision(ResourceRequest(gpus=gpus), prewarmed=False))
+        container = yield from scheduler.runtime.provision(
+            ResourceRequest(gpus=gpus), prewarmed=False)
         container.assign(job_id, job_id)
         host.register_container(container.container_id, container)
         provisioning_delay = env.now - queue_start
 
-        yield env.process(self.request_ingress(platform, steps,
-                                               gs_extra=provisioning_delay))
+        yield from self.request_ingress(platform, steps,
+                                        gs_extra=provisioning_delay)
 
         # Mandatory pre-processing data I/O: stage the model and dataset.
-        stage_time = yield env.process(self.stage_model_and_dataset(
-            platform, session, owner=job_id, node_id=job_id))
+        stage_time = yield from self.stage_model_and_dataset(
+            platform, session, owner=job_id, node_id=job_id)
         steps.record("intermediary_interval", stage_time)
 
         metrics.started_at = env.now
@@ -98,14 +98,14 @@ class BatchPolicy(SchedulingPolicy):
         yield task.duration
 
         # Mandatory post-processing data I/O: persist the updated model.
-        persist_time = yield env.process(self.persist_model(
-            platform, session, owner=job_id, node_id=job_id))
+        persist_time = yield from self.persist_model(
+            platform, session, owner=job_id, node_id=job_id)
         steps.record("kernel_postprocess", persist_time)
 
         if gpus and job_id in host.gpus.owners():
             host.release_gpus(job_id, env.now)
         host.unregister_container(container.container_id)
-        yield env.process(self.reply_egress(platform, steps))
+        yield from self.reply_egress(platform, steps)
         metrics.completed_at = env.now
         metrics.status = "ok"
 

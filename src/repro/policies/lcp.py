@@ -37,14 +37,22 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
     # Host / container acquisition.
     # ------------------------------------------------------------------
     def _find_host(self, platform: "NotebookOSPlatform", gpus: int) -> Optional[Host]:
-        candidates = [h for h in platform.cluster.active_hosts if h.idle_gpus >= gpus]
-        if not candidates:
+        cluster = platform.cluster
+        if not cluster.hosts_with_idle_gpus(gpus):
+            # O(1) histogram check: nothing can serve the task right now, so
+            # skip the scan entirely (the common case in the GPU wait loop).
             return None
-        # Prefer hosts that already have a warm container available.
+        # Prefer hosts that already have a warm container available.  The
+        # rank key embeds the host id, so the minimum is unique and min()
+        # over any iteration order selects the same host the previous
+        # sorted(...)[0] did.
+        available = platform.prewarmer.available
+
         def rank(host: Host):
-            return (-min(1, platform.prewarmer.available(host.host_id)),
-                    -host.idle_gpus, host.host_id)
-        return sorted(candidates, key=rank)[0]
+            return (-min(1, available(host.host_id)), -host.idle_gpus, host.host_id)
+
+        return min((h for h in cluster.iter_ranked() if h.idle_gpus >= gpus),
+                   key=rank, default=None)
 
     # ------------------------------------------------------------------
     # Cell execution.
@@ -70,19 +78,19 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
         scheduler = platform.cluster.scheduler_for(host.host_id)
         container = platform.prewarmer.take(host.host_id)
         if container is None:
-            container = yield env.process(scheduler.runtime.provision(
-                ResourceRequest(gpus=gpus), prewarmed=False))
+            container = yield from scheduler.runtime.provision(
+                ResourceRequest(gpus=gpus), prewarmed=False)
         else:
             yield scheduler.runtime.latency_model.warm_start(platform.rng)
         container.assign(job_id, job_id)
         acquisition_delay = env.now - wait_start
 
-        yield env.process(self.request_ingress(platform, steps,
-                                               gs_extra=acquisition_delay))
+        yield from self.request_ingress(platform, steps,
+                                        gs_extra=acquisition_delay)
 
         # Warming-up: download the session's model parameters and dataset.
-        stage_time = yield env.process(self.stage_model_and_dataset(
-            platform, session, owner=job_id, node_id=host.host_id))
+        stage_time = yield from self.stage_model_and_dataset(
+            platform, session, owner=job_id, node_id=host.host_id)
         steps.record("intermediary_interval", stage_time)
 
         metrics.started_at = env.now
@@ -92,15 +100,15 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
 
         # Persist the updated model so the next (different) container can
         # pick the session up where this one left off.
-        persist_time = yield env.process(self.persist_model(
-            platform, session, owner=job_id, node_id=host.host_id))
+        persist_time = yield from self.persist_model(
+            platform, session, owner=job_id, node_id=host.host_id)
         steps.record("kernel_postprocess", persist_time)
 
         if gpus and job_id in host.gpus.owners():
             host.release_gpus(job_id, env.now)
         # The container returns to the pool rather than being terminated.
         platform.prewarmer.put_back(host.host_id, container)
-        yield env.process(self.reply_egress(platform, steps))
+        yield from self.reply_egress(platform, steps)
         metrics.completed_at = env.now
         metrics.status = "ok"
         return metrics

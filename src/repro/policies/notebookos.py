@@ -64,11 +64,11 @@ class NotebookOSPolicy(SchedulingPolicy):
         env = platform.env
         kernel = self._kernels.get(session.session_id)
         if kernel is None:
-            kernel = yield env.process(self.on_session_start(platform, session))
+            kernel = yield from self.on_session_start(platform, session)
         steps = metrics.steps
         metrics.kernel_id = kernel.kernel_id
 
-        yield env.process(self.request_ingress(platform, steps))
+        yield from self.request_ingress(platform, steps)
 
         # Executor replica election (§3.2.2).  The previous executor id is
         # captured before the election to derive the reuse statistic.
@@ -94,7 +94,7 @@ class NotebookOSPolicy(SchedulingPolicy):
             if executor is None:
                 metrics.status = "error"
                 metrics.completed_at = env.now
-                yield env.process(self.reply_egress(platform, steps))
+                yield from self.reply_egress(platform, steps)
                 return metrics
         else:
             executor = kernel.replica_by_id(outcome.winner.replica_id)
@@ -164,7 +164,7 @@ class NotebookOSPolicy(SchedulingPolicy):
         executor.executions += 1
         kernel.executions_completed += 1
 
-        yield env.process(self.reply_egress(platform, steps))
+        yield from self.reply_egress(platform, steps)
         metrics.completed_at = env.now
         metrics.status = "ok"
 
@@ -182,9 +182,9 @@ class NotebookOSPolicy(SchedulingPolicy):
     def _replicate_state(self, platform: "NotebookOSPlatform",
                          kernel: DistributedKernel, executor_replica: str,
                          task: TaskRecord):
-        report = yield platform.env.process(kernel.synchronizer.synchronize(
+        report = yield from kernel.synchronizer.synchronize(
             task.code, kernel.namespace_objects(), executor_replica,
-            node_id=executor_replica))
+            node_id=executor_replica)
         if report.raft_sync_latency > 0:
             platform.metrics.raft_sync_latencies.append(report.raft_sync_latency)
         return report

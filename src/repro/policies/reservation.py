@@ -62,8 +62,8 @@ class ReservationPolicy(SchedulingPolicy):
         host.pool.commit(request)
         host.subscribe(session.session_id, request.gpus)
         scheduler = platform.cluster.scheduler_for(host.host_id)
-        container = yield env.process(
-            scheduler.runtime.provision(request, prewarmed=False))
+        container = yield from scheduler.runtime.provision(
+            request, prewarmed=False)
         container.assign(session.session_id, f"{session.session_id}-kernel")
         host.register_container(container.container_id, container)
         self._reservations[session.session_id] = _Reservation(
@@ -86,11 +86,13 @@ class ReservationPolicy(SchedulingPolicy):
 
     def _find_host(self, platform: "NotebookOSPlatform",
                    request: ResourceRequest) -> Optional[Host]:
-        candidates = [h for h in platform.cluster.active_hosts
-                      if h.pool.can_commit(request)]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda h: (h.pool.committed.gpus, h.host_id))
+        # The selection key embeds the host id, so the minimum is unique and
+        # any iteration order yields the same host as the previous
+        # materialized-list scan; iter_ranked avoids building that list.
+        return min((h for h in platform.cluster.iter_ranked()
+                    if h.pool.can_commit(request)),
+                   key=lambda h: (h.pool.committed.gpus, h.host_id),
+                   default=None)
 
     # ------------------------------------------------------------------
     # Cell execution: the GPUs are already bound to the session.
@@ -100,11 +102,11 @@ class ReservationPolicy(SchedulingPolicy):
         env = platform.env
         reservation = self._reservations.get(session.session_id)
         if reservation is None:
-            reservation = yield env.process(self.on_session_start(platform, session))
+            reservation = yield from self.on_session_start(platform, session)
         steps = metrics.steps
         metrics.kernel_id = f"{session.session_id}-kernel"
 
-        yield env.process(self.request_ingress(platform, steps))
+        yield from self.request_ingress(platform, steps)
 
         host = reservation.host
         gpus = min(task.gpus, reservation.gpus_reserved) if task.is_gpu_task else 0
@@ -128,7 +130,7 @@ class ReservationPolicy(SchedulingPolicy):
         if gpus and session.session_id in host.gpus.owners():
             host.release_gpus(session.session_id, env.now)
 
-        yield env.process(self.reply_egress(platform, steps))
+        yield from self.reply_egress(platform, steps)
         metrics.completed_at = env.now
         metrics.status = "ok"
         return metrics

@@ -310,7 +310,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_counter", "_serials",
-                 "event", "timeout", "process", "defer")
+                 "event", "timeout", "at", "process", "defer")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -339,6 +339,33 @@ class Environment:
             return t
 
         self.timeout = timeout
+
+        def at(time: float, value: Any = None,
+               _new=timeout_new, _cls=Timeout) -> Timeout:
+            """A timeout that fires at *absolute* simulation time ``time``.
+
+            ``yield env.at(t)`` parks the process until exactly ``t`` — no
+            float round-off from re-deriving a relative delay.  The batched
+            request-path fast paths accumulate their per-hop delays into an
+            absolute wake-up time with the same float additions the
+            individual sleeps performed, then schedule one event at that
+            exact time: one heap entry instead of several, with bit-identical
+            timestamps.
+            """
+            now = self._now
+            if time < now:
+                raise ValueError(
+                    f"cannot sleep until {time}: simulation time is already {now}")
+            t = _new(_cls)
+            t.env = self
+            t.delay = time - now
+            t._callbacks = None
+            t._value = value
+            t._triggered = True
+            heappush(queue, (time, next(counter), t))
+            return t
+
+        self.at = at
 
         event_new = Event.__new__
 

@@ -45,9 +45,9 @@ class CheckpointManager:
 
     def checkpoint(self, obj: NamespaceObject, node_id: Optional[str] = None):
         """Simulation process: write one large object; returns its pointer."""
-        pointer = yield self.env.process(
-            self.datastore.write(self._key(obj.name), obj.size_bytes,
-                                 owner=self.kernel_id, node_id=node_id))
+        pointer = yield from self.datastore.write(
+            self._key(obj.name), obj.size_bytes,
+            owner=self.kernel_id, node_id=node_id)
         self.records[obj.name] = CheckpointRecord(pointer=pointer, object=obj,
                                                   written_at=self.env.now)
         self.bytes_checkpointed += obj.size_bytes
@@ -59,7 +59,7 @@ class CheckpointManager:
         """Simulation process: checkpoint a batch of large objects in sequence."""
         pointers = []
         for obj in objects:
-            pointer = yield self.env.process(self.checkpoint(obj, node_id=node_id))
+            pointer = yield from self.checkpoint(obj, node_id=node_id)
             pointers.append(pointer)
         return pointers
 
@@ -68,8 +68,8 @@ class CheckpointManager:
         record = self.records.get(name)
         if record is None:
             raise KeyError(f"no checkpoint for object {name!r} of kernel {self.kernel_id}")
-        stored = yield self.env.process(
-            self.datastore.read(self._key(name), node_id=node_id))
+        stored = yield from self.datastore.read(
+            self._key(name), node_id=node_id)
         self.objects_restored += 1
         return stored
 
@@ -77,7 +77,7 @@ class CheckpointManager:
         """Simulation process: read every checkpointed object (migration path)."""
         restored = []
         for name in list(self.records):
-            stored = yield self.env.process(self.restore(name, node_id=node_id))
+            stored = yield from self.restore(name, node_id=node_id)
             restored.append(stored)
         return restored
 

@@ -125,8 +125,8 @@ class StateSynchronizer:
         # in the log, handled by the checkpoint manager).
         if large:
             start = self.env.now
-            yield self.env.process(
-                self.checkpoint_manager.checkpoint_all(large, node_id=node_id))
+            yield from self.checkpoint_manager.checkpoint_all(
+                large, node_id=node_id)
             report.checkpoint_latency = self.env.now - start
             report.bytes_via_datastore = sum(obj.size_bytes for obj in large)
 

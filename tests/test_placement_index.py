@@ -1,0 +1,289 @@
+"""Property tests: indexed placement ≡ the frozen sort-based reference.
+
+The :class:`~repro.cluster.index.HostIndex` inside :class:`ClusterState`
+answers placement queries from incrementally maintained orderings.  The
+contract is *bit-identical host selection*: across arbitrary cluster states
+and request streams, the indexed fast path must return exactly the hosts the
+seed repository's sort-based implementation returned — including exclusion
+lists and both subscription-ratio passes.
+
+``ReferencePlacement`` below is a frozen, literal copy of the seed's
+``LeastLoadedPlacement`` query logic (full sorts over materialized host
+lists, scanning SR totals).  Hypothesis drives randomized operation
+sequences — subscribe / unsubscribe / bind / release / decommission /
+provision — against one cluster, interleaved with placement queries whose
+answers are compared host-by-host.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.host import Host, HostSpec
+from repro.cluster.index import HostIndex, rank_key
+from repro.cluster.resources import ResourceRequest
+from repro.core.global_scheduler import ClusterState
+from repro.core.placement import LeastLoadedPlacement, cluster_subscription_ratio
+from repro.simulation.engine import Environment
+
+
+# ----------------------------------------------------------------------
+# Frozen sort-based reference (the seed implementation, verbatim logic).
+# ----------------------------------------------------------------------
+class ReferencePlacement:
+    """The pre-index LeastLoadedPlacement queries, frozen for comparison."""
+
+    def __init__(self, policy: LeastLoadedPlacement) -> None:
+        self.policy = policy
+
+    def _rank(self, host):
+        return (host.committed_training_gpus, -host.idle_gpus,
+                host.subscribed_gpus, host.host_id)
+
+    def _sr_limit(self, hosts, replication_factor):
+        policy = self.policy
+        if policy.subscription_ratio_limit is not None:
+            return policy.subscription_ratio_limit
+        total_gpus = sum(h.spec.num_gpus for h in hosts if h.is_active)
+        if total_gpus == 0 or replication_factor == 0:
+            dynamic = 0.0
+        else:
+            total_subscribed = sum(h.subscribed_gpus for h in hosts if h.is_active)
+            dynamic = total_subscribed / (total_gpus * replication_factor)
+        return max(policy.minimum_sr_limit, dynamic)
+
+    def _collect(self, hosts, request, replicas_needed, replication_factor,
+                 excluded, sr_limit):
+        policy = self.policy
+        viable = []
+        for host in sorted((h for h in hosts if h.is_active), key=self._rank):
+            if host.host_id in excluded:
+                continue
+            if request.gpus > host.spec.num_gpus:
+                continue
+            if policy.oversubscription_enabled:
+                projected = host.subscribed_gpus + request.gpus
+                sr_after = projected / (host.spec.num_gpus * replication_factor)
+                if sr_after > sr_limit + 1e-9:
+                    continue
+            else:
+                if not host.pool.can_commit(request):
+                    continue
+            viable.append(host)
+            if len(viable) == replicas_needed:
+                break
+        return viable
+
+    def candidate_hosts(self, hosts, request, replicas_needed,
+                        replication_factor, exclude_hosts=()):
+        policy = self.policy
+        excluded = set(exclude_hosts)
+        balance_limit = min(self._sr_limit(hosts, replication_factor),
+                            policy.high_watermark)
+        viable = self._collect(hosts, request, replicas_needed,
+                               replication_factor, excluded, balance_limit)
+        if len(viable) < replicas_needed and policy.oversubscription_enabled:
+            viable = self._collect(hosts, request, replicas_needed,
+                                   replication_factor, excluded,
+                                   policy.high_watermark)
+        return viable
+
+    def migration_target(self, hosts, request, replication_factor,
+                         exclude_hosts=()):
+        excluded = set(exclude_hosts)
+        candidates = [h for h in hosts
+                      if h.is_active and h.host_id not in excluded
+                      and h.idle_gpus >= request.gpus]
+        if not candidates:
+            return None
+        return sorted(candidates, key=self._rank)[0]
+
+
+# ----------------------------------------------------------------------
+# Randomized cluster evolution.
+# ----------------------------------------------------------------------
+def apply_ops(cluster: ClusterState, rng: random.Random, num_ops: int) -> None:
+    """Mutate the cluster through every path that feeds the index."""
+    for op_no in range(num_ops):
+        op = rng.randrange(7)
+        hosts = [h for h in cluster.hosts.values() if h.is_active]
+        if op == 0 or not hosts:  # provision a host
+            host_id = f"host-p{cluster.env.next_serial('bench-host'):04d}"
+            spec = HostSpec(num_gpus=rng.choice((4, 8, 8, 16)))
+            cluster.add_host(Host(host_id=host_id, spec=spec), scheduler=None)
+        elif op == 1:  # subscribe
+            host = rng.choice(hosts)
+            host.subscribe(f"k-{rng.randrange(6)}", rng.choice((0, 1, 1, 2, 4)))
+        elif op == 2:  # unsubscribe (possibly a no-op)
+            host = rng.choice(hosts)
+            host.unsubscribe(f"k-{rng.randrange(6)}")
+        elif op == 3:  # bind GPUs for a training task
+            host = rng.choice(hosts)
+            kernel = f"k-{rng.randrange(6)}"
+            gpus = rng.randrange(0, 4)
+            if host.can_bind_gpus(gpus):
+                host.bind_gpus(kernel, gpus, float(op_no))
+        elif op == 4:  # release a training task's GPUs
+            host = rng.choice(hosts)
+            host.release_gpus(f"k-{rng.randrange(6)}", float(op_no))
+        elif op == 5 and len(hosts) > 1:  # decommission
+            rng.choice(hosts).decommission(float(op_no))
+        elif op == 6 and len(hosts) > 1:  # decommission + remove
+            host = rng.choice(hosts)
+            host.decommission(float(op_no))
+            cluster.remove_host(host.host_id)
+
+
+def make_cluster(seed: int, num_hosts: int, num_ops: int) -> ClusterState:
+    rng = random.Random(seed)
+    cluster = ClusterState(Environment())
+    for i in range(num_hosts):
+        spec = HostSpec(num_gpus=rng.choice((4, 8, 8, 16)))
+        cluster.add_host(Host(host_id=f"host-{i:04d}", spec=spec),
+                         scheduler=None)
+    apply_ops(cluster, rng, num_ops)
+    return cluster
+
+
+policies = st.builds(
+    LeastLoadedPlacement,
+    oversubscription_enabled=st.booleans(),
+    subscription_ratio_limit=st.one_of(st.none(), st.floats(0.5, 4.0)),
+    high_watermark=st.floats(1.0, 5.0),
+)
+
+
+@given(seed=st.integers(0, 2**32 - 1),
+       num_hosts=st.integers(0, 40),
+       num_ops=st.integers(0, 120),
+       policy=policies,
+       data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_indexed_placement_matches_sorted_reference(seed, num_hosts, num_ops,
+                                                    policy, data):
+    cluster = make_cluster(seed, num_hosts, num_ops)
+    cluster.index.check_consistency()
+    reference = ReferencePlacement(policy)
+    rng = random.Random(seed ^ 0x5EED)
+    active = [h for h in cluster.hosts.values() if h.is_active]
+
+    for _ in range(6):
+        gpus = rng.choice((0, 1, 1, 2, 4, 8, 17))
+        request = ResourceRequest(millicpus=4000, memory_mb=16384, gpus=gpus,
+                                  vram_gb=8.0 * gpus)
+        replicas = rng.choice((1, 1, 3, 5))
+        replication = rng.choice((1, 3))
+        exclude = tuple(h.host_id for h in active
+                        if rng.random() < 0.2)
+
+        indexed = policy.candidate_hosts(cluster, request, replicas,
+                                         replication, exclude_hosts=exclude)
+        expected = reference.candidate_hosts(active, request, replicas,
+                                             replication, exclude_hosts=exclude)
+        assert indexed.hosts == expected, "candidate_hosts diverged"
+        assert indexed.satisfied == (len(expected) >= replicas)
+
+        indexed_target = policy.migration_target(cluster, request, replication,
+                                                 exclude_hosts=exclude)
+        expected_target = reference.migration_target(active, request,
+                                                     replication,
+                                                     exclude_hosts=exclude)
+        assert indexed_target is expected_target, "migration_target diverged"
+
+        # The slow path (host sequence) must agree with the index too.
+        slow = policy.candidate_hosts(active, request, replicas, replication,
+                                      exclude_hosts=exclude)
+        assert slow.hosts == expected
+
+        # Mutate between queries so queries interleave with index updates.
+        apply_ops(cluster, rng, 5)
+        active = [h for h in cluster.hosts.values() if h.is_active]
+
+    cluster.index.check_consistency()
+
+
+@given(seed=st.integers(0, 2**32 - 1),
+       num_hosts=st.integers(0, 30),
+       num_ops=st.integers(0, 150))
+@settings(max_examples=80, deadline=None)
+def test_cluster_views_match_scans(seed, num_hosts, num_ops):
+    """Aggregates, SR, idle ordering, and the histogram all match scans."""
+    cluster = make_cluster(seed, num_hosts, num_ops)
+    active = [h for h in cluster.hosts.values() if h.is_active]
+
+    assert cluster.active_host_count == len(active)
+    assert cluster.total_gpus() == sum(h.spec.num_gpus for h in active)
+    assert cluster.committed_training_gpus() == \
+        sum(h.committed_training_gpus for h in active)
+    for replication in (1, 3):
+        assert cluster.subscription_ratio(replication) == \
+            cluster_subscription_ratio(active, replication)
+    # idle_hosts preserves the host-dict scan order the seed produced.
+    assert cluster.idle_hosts() == [h for h in active if h.is_idle]
+    # Ranked iteration is exactly the reference sort.
+    ranked = list(cluster.iter_ranked())
+    assert ranked == sorted(active, key=rank_key)
+    for min_idle in (0, 1, 2, 8, 17):
+        assert cluster.hosts_with_idle_gpus(min_idle) == \
+            sum(1 for h in active if h.idle_gpus >= min_idle)
+        candidates = [h for h in active if h.idle_gpus >= min_idle]
+        expected = max(candidates,
+                       key=lambda h: (h.idle_gpus, h.host_id)) \
+            if candidates else None
+        assert cluster.most_idle_host(min_idle) is expected
+
+
+def test_host_cached_counters_match_scans():
+    """Host's O(1) counters stay equal to summing its dicts and devices."""
+    rng = random.Random(7)
+    host = Host(host_id="host-x", spec=HostSpec(num_gpus=8))
+    for op_no in range(400):
+        op = rng.randrange(4)
+        kernel = f"k-{rng.randrange(5)}"
+        if op == 0:
+            host.subscribe(kernel, rng.choice((0, 1, 2, 4)))
+        elif op == 1:
+            host.unsubscribe(kernel)
+        elif op == 2:
+            gpus = rng.randrange(0, 4)
+            if host.can_bind_gpus(gpus):
+                host.bind_gpus(kernel, gpus, float(op_no))
+        else:
+            host.release_gpus(kernel, float(op_no))
+        assert host.subscribed_gpus == sum(host._subscriptions.values())
+        assert host.committed_training_gpus == \
+            sum(host._active_trainings.values())
+        assert host.allocated_gpus == \
+            sum(1 for d in host.gpus.devices if d.is_allocated)
+        assert host.idle_gpus == host.gpus.idle_count
+        assert host.can_bind_gpus(host.idle_gpus)
+        assert not host.can_bind_gpus(host.idle_gpus + 1)
+
+
+def test_index_add_discard_idempotent():
+    index = HostIndex()
+    a, b = Host(host_id="a"), Host(host_id="b")
+    index.add(a)
+    index.add(b)
+    index.add(a)  # idempotent re-add
+    assert len(index) == 2 and "a" in index
+    index.discard(a)
+    index.discard(a)  # idempotent re-discard
+    assert len(index) == 1 and "a" not in index
+    index.reindex(a)  # reindex of an unindexed host is a no-op
+    assert list(index.iter_ranked()) == [b]
+    index.check_consistency()
+
+
+def test_empty_cluster_queries():
+    cluster = ClusterState(Environment())
+    policy = LeastLoadedPlacement()
+    request = ResourceRequest(gpus=1)
+    decision = policy.candidate_hosts(cluster, request, 3, 3)
+    assert decision.hosts == [] and not decision.satisfied
+    assert policy.migration_target(cluster, request, 3) is None
+    assert cluster.most_idle_host(1) is None
+    assert cluster.idle_hosts() == []
+    assert cluster.subscription_ratio(3) == 0.0
