@@ -1,12 +1,12 @@
 """Shared helpers for the benchmark harnesses.
 
 Every benchmark regenerates one table or figure from the paper's evaluation.
-The experiment runs behind them are orchestrated by :mod:`repro.experiments`:
-each (scenario, policy, seed) triple resolves to a content-hashed
-:class:`~repro.experiments.ScenarioSpec`, results are cached in memory for
-the benchmark session *and* persisted to the on-disk result store, so
-re-running the suite (or any subset of figures) is served from cache.  Set
-``REPRO_RESULTS_DIR`` to relocate the store, or delete it to force reruns.
+The experiment runs behind them go through the :mod:`repro.api` façade: each
+(scenario, policy, seed) triple resolves to a content-hashed spec, results
+are cached in memory for the benchmark session *and* persisted to the
+on-disk result store, so re-running the suite (or any subset of figures) is
+served from cache.  Set ``REPRO_RESULTS_DIR`` to relocate the store, or
+delete it to force reruns.
 
 Scale note: the paper's simulation study replays the full 90-day trace with
 up to 433 concurrent sessions.  To keep the benchmark suite runnable in
@@ -18,20 +18,17 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.api import ResultStore, build_trace, default_registry, run_spec
+from repro.core.config import ClusterConfig, PlatformConfig
 from repro.experiments import (
     EXCERPT_HOURS,
     EXCERPT_SESSIONS,
     SIMULATION_DAYS,
     SIMULATION_SESSIONS,
-    ResultStore,
     ScenarioSpec,
-    build_trace,
-    default_registry,
     long_run_cluster_config,
     long_run_platform_config,
-    run_spec,
 )
-from repro.core.config import ClusterConfig, PlatformConfig
 from repro.metrics.collector import ExperimentResult
 from repro.workload.trace import Trace
 

@@ -7,14 +7,19 @@ oversubscribed, some executor elections fail (every replica yields), forcing
 the Global Scheduler to migrate replicas to scaled-out servers — the §3.2.3
 machinery — with state handed off through the distributed data store.
 
+The run is assembled through the ``repro.api`` façade: an explicit trace, an
+explicit (undersized) cluster configuration, and a ``MIGRATION`` lifecycle
+hook that observes every replica move as it happens — no platform wiring,
+no core edits.
+
 Run with::
 
     python examples/migration_and_failover.py
 """
 
-from repro.core import ClusterConfig, NotebookOSPlatform, PlatformConfig
+from repro.api import MIGRATION, Simulation
+from repro.core import ClusterConfig, PlatformConfig
 from repro.metrics.collector import EventKind
-from repro.policies import NotebookOSPolicy
 from repro.workload import SessionTrace, TaskRecord, Trace
 
 
@@ -37,28 +42,38 @@ def build_contended_trace(num_sessions: int = 6) -> Trace:
 
 def main() -> None:
     trace = build_contended_trace()
-    policy = NotebookOSPolicy()
-    platform = NotebookOSPlatform(
-        policy,
-        cluster_config=ClusterConfig(initial_hosts=3, max_hosts=12),
-        platform_config=PlatformConfig(scaling_buffer_hosts=0,
-                                       autoscaler_interval_s=30.0))
+    cluster_config = ClusterConfig(initial_hosts=3, max_hosts=12)
+    live_migrations = []
+    simulation = (
+        Simulation.from_trace(trace)
+        .with_policy("notebookos")
+        .with_config(
+            cluster_config=cluster_config,
+            platform_config=PlatformConfig(scaling_buffer_hosts=0,
+                                           autoscaler_interval_s=30.0))
+        .on(MIGRATION, lambda t, kernel, src, dst:
+            live_migrations.append((t, kernel, src, dst))))
 
-    print(f"Cluster: {len(platform.cluster.active_hosts)} hosts x 8 GPUs, "
+    print(f"Cluster: {cluster_config.initial_hosts} hosts x "
+          f"{cluster_config.host_spec.num_gpus} GPUs, "
           f"{len(trace)} sessions each requesting 8 GPUs\n")
-    result = platform.run_workload(trace)
+    result = simulation.run()
+    platform = simulation.platform
 
     migrations = result.collector.events_of_kind(EventKind.KERNEL_MIGRATION)
     scale_outs = result.collector.events_of_kind(EventKind.SCALE_OUT)
+    assert len(live_migrations) == len(migrations), \
+        "the MIGRATION hook and the metrics collector must agree"
     print(f"Completed tasks      : {len(result.collector.completed_tasks())}"
           f" / {trace.total_task_count}")
-    print(f"Kernel migrations    : {len(migrations)}")
+    print(f"Kernel migrations    : {len(migrations)} "
+          f"(all {len(live_migrations)} also observed live via the hook bus)")
     print(f"Scale-out operations : {len(scale_outs)}")
     print(f"Final cluster size   : {len(platform.cluster.active_hosts)} hosts")
     print(f"Aborted migrations   : {platform.global_scheduler.migrations_aborted}")
     print("\nMigration events:")
-    for event in migrations[:10]:
-        print(f"  t={event.time / 60.0:7.1f} min  {event.detail}")
+    for time, kernel, source, target in live_migrations[:10]:
+        print(f"  t={time / 60.0:7.1f} min  {kernel}: {source} -> {target}")
 
     interactivity = result.interactivity_cdf
     print("\nInteractivity delay (s): "

@@ -6,7 +6,7 @@ Reservation, Batch, NotebookOS, and NotebookOS (LCP) — and prints the
 trade-off the paper's evaluation revolves around: GPU-hours provisioned
 versus interactivity.
 
-The four runs go through the ``repro.experiments`` subsystem: pass
+The four runs go through the ``repro.api`` façade's sweep machinery: pass
 ``--workers 4`` to run the policies in parallel processes, and re-run the
 script to be served from the on-disk result store (``.repro_results/`` by
 default; results are identical either way).
@@ -18,7 +18,7 @@ Run with::
 
 import argparse
 
-from repro.experiments import ResultStore, SweepGrid, run_specs
+from repro.api import ResultStore, SweepGrid, run_specs
 
 POLICIES = ("reservation", "batch", "notebookos", "lcp")
 

@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: run a small IDLT workload on NotebookOS and print the results.
 
-This example generates a two-hour AdobeTrace-style workload with 15 notebook
-sessions, replays it on the simulated NotebookOS platform, and prints the
-headline metrics: interactivity delay, task completion time, provisioned GPU
-hours, migrations, and scale-out operations.
+Everything goes through the ``repro.api`` façade: a :class:`Simulation` is
+built from a generated trace, a policy is selected by registry name, and a
+lifecycle hook counts scale-out events live — without touching any core
+code.  The run replays a two-hour AdobeTrace-style workload with 15 notebook
+sessions and prints the headline metrics: interactivity delay, task
+completion time, provisioned GPU hours, migrations, and scale-out
+operations.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import run_experiment
+from repro.api import SCALE_OUT, Simulation
 from repro.workload import AdobeTraceGenerator
 
 
@@ -23,7 +26,13 @@ def main() -> None:
 
     print("\nReplaying the workload on NotebookOS (replicated kernels, "
           "on-demand GPUs)...")
-    result = run_experiment(trace, policy="notebookos", seed=42)
+    scale_outs = []
+    simulation = (Simulation.from_trace(trace)
+                  .with_policy("notebookos")
+                  .with_seed(42)
+                  .on(SCALE_OUT, lambda t, hosts, reason:
+                      scale_outs.append((t, hosts, reason))))
+    result = simulation.run()
 
     summary = result.summary()
     print("\nResults")
@@ -36,6 +45,13 @@ def main() -> None:
     print("-" * 60)
     for q in (0.50, 0.90, 0.95, 0.99):
         print(f"  p{int(q * 100):<4d} {interactivity.percentile(q):10.3f}")
+
+    if scale_outs:
+        t, hosts, reason = scale_outs[0]
+        print(f"\nLifecycle hooks saw {len(scale_outs)} scale-out events; the "
+              f"first added {hosts} host(s) at t={t / 60.0:.1f} min ({reason}).")
+    print(f"Final cluster size: "
+          f"{simulation.platform.cluster.active_host_count} hosts.")
 
     print("\nThe executor election committed GPUs immediately for "
           f"{result.collector.immediate_commit_fraction():.1%} of requests and "

@@ -21,17 +21,19 @@ Notebook Platform for Interactive Training with On-Demand GPUs*
   analysis helpers used to regenerate every figure in the paper;
 * ``repro.experiments`` — named scenarios, parameter sweeps, a parallel
   runner, and a persistent content-addressed result store (see
-  EXPERIMENTS.md; CLI: ``python -m repro.experiments``).
+  EXPERIMENTS.md; CLI: ``python -m repro.experiments``);
+* ``repro.api`` — the unified simulation façade: the :class:`Simulation`
+  builder, typed :class:`RunSpec`, the pluggable policy registry
+  (``@register_policy``), and the lifecycle hook bus.
 
 Quickstart::
 
-    from repro import run_experiment
-    from repro.workload import AdobeTraceGenerator
+    from repro.api import Simulation
 
-    trace = AdobeTraceGenerator(seed=1, num_sessions=20,
-                                duration_hours=2.0).generate()
-    result = run_experiment(trace, policy="notebookos")
+    result = Simulation.from_scenario("smoke", policy="notebookos").run()
     print(result.summary())
+
+(``repro.run_experiment`` remains as a deprecated shim over the façade.)
 
 The heavyweight platform symbols are imported lazily (PEP 562) so that the
 substrate packages (``repro.simulation``, ``repro.raft``, …) can be used on
@@ -44,6 +46,7 @@ __all__ = [
     "ClusterConfig",
     "NotebookOSPlatform",
     "PlatformConfig",
+    "api",
     "run_experiment",
     "__version__",
 ]
@@ -58,12 +61,16 @@ _LAZY_EXPORTS = {
 
 def __getattr__(name: str):
     """Lazily resolve the top-level platform exports."""
+    import importlib
+
+    if name == "api":
+        module = importlib.import_module("repro.api")
+        globals()[name] = module
+        return module
     try:
         module_name, attribute = _LAZY_EXPORTS[name]
     except KeyError:
         raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
-    import importlib
-
     module = importlib.import_module(module_name)
     value = getattr(module, attribute)
     globals()[name] = value

@@ -1,0 +1,80 @@
+"""Typed run specifications for the simulation façade.
+
+A :class:`RunSpec` is the one JSON-serializable description of an experiment
+run: scenario, trace generator and knobs, policy, seed, and config preset.
+It extends :class:`~repro.experiments.scenarios.ScenarioSpec` — the content
+hash, dict round-trip, and result-store key are inherited unchanged, so a
+``RunSpec`` is accepted everywhere a ``ScenarioSpec`` is (sweeps, the
+parallel runner, the result store) — and adds the façade conveniences: JSON
+string round-trip, scenario-registry construction, and a one-call ``run()``.
+
+    from repro.api import RunSpec
+
+    spec = RunSpec.from_scenario("excerpt", policy="batch", seed=9)
+    print(spec.to_json())
+    result = spec.run()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenarios import ScenarioSpec, default_registry
+
+__all__ = ["RunSpec"]
+
+
+@dataclass
+class RunSpec(ScenarioSpec):
+    """A fully bound, hashable, JSON-round-trippable experiment description."""
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(cls, scenario: str, policy: Optional[str] = None,
+                      seed: Optional[int] = None,
+                      **generator_overrides) -> "RunSpec":
+        """Bind a registered scenario's free parameters into a spec."""
+        bound = default_registry().get(scenario).instantiate(
+            policy=policy, seed=seed, **generator_overrides)
+        return cls.from_dict(bound.to_dict())
+
+    @classmethod
+    def from_spec(cls, spec) -> "RunSpec":
+        """Adopt a :class:`ScenarioSpec` (or spec dict) as a ``RunSpec``."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, ScenarioSpec):
+            return cls.from_dict(spec.to_dict())
+        return cls.from_dict(spec)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip.
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunSpec":
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError(f"RunSpec JSON must decode to an object, "
+                             f"got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(self, store=None, hooks=None):
+        """Run this spec through the façade; returns an ExperimentResult."""
+        from repro.api.simulation import Simulation
+
+        simulation = Simulation.from_spec(self)
+        if store is not None:
+            simulation.with_store(store)
+        if hooks is not None:
+            simulation.with_hooks(hooks)
+        return simulation.run()

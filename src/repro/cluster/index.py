@@ -14,10 +14,15 @@ feed the O(1) cluster aggregates:
   kept in cluster-insertion order.  This reproduces the order of the previous
   ``[h for h in cluster.hosts.values() if h.is_active and h.is_idle]`` scan
   (dicts preserve insertion order), which scale-in depends on;
-* **idle-GPU histogram** — a count of active hosts per idle-GPU count, so
-  "does any host have >= g idle GPUs?" is answerable without touching the
-  host list at all.  Migration targeting and the Batch/LCP host-acquisition
-  wait loops use it to skip scans that cannot succeed.
+* **idle-GPU buckets** — for every idle-GPU count, the sorted host ids of
+  the active hosts with exactly that count.  "Does any host have >= g idle
+  GPUs?" is answerable without touching the host list at all (migration
+  targeting and the Batch/LCP host-acquisition wait loops use it to skip
+  scans that cannot succeed), and when a host *does* qualify the walk
+  starts at the best qualifying bucket — O(buckets + answer), not the
+  O(n) full-rank-list fallback scan it replaced.  The number of distinct
+  idle counts is bounded by the GPU capacities in play (≤ 9 buckets for a
+  homogeneous 8-GPU fleet), so bucket bookkeeping is effectively constant.
 
 Updates use :mod:`bisect` on parallel key/host lists: O(log n) to locate plus
 a C-level ``memmove`` to splice — microseconds at 1000 hosts, far below the
@@ -26,7 +31,7 @@ cost of the O(n log n) Python-key sorts the index replaces.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, insort
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cluster.host import Host
@@ -45,7 +50,7 @@ class HostIndex:
 
     __slots__ = ("_rank_keys", "_rank_hosts", "_entry_keys",
                  "_idle_serials", "_idle_hosts", "_idle_serial_of",
-                 "_next_serial", "_idle_gpu_hist")
+                 "_next_serial", "_idle_buckets", "_hosts_by_id")
 
     def __init__(self) -> None:
         # Parallel lists sorted by rank key; _entry_keys remembers the key a
@@ -59,8 +64,9 @@ class HostIndex:
         self._idle_hosts: List[Host] = []
         self._idle_serial_of: Dict[str, int] = {}
         self._next_serial = 0
-        # idle-GPU count -> number of active hosts with exactly that count.
-        self._idle_gpu_hist: Dict[int, int] = {}
+        # idle-GPU count -> sorted host ids with exactly that count.
+        self._idle_buckets: Dict[int, List[str]] = {}
+        self._hosts_by_id: Dict[str, Host] = {}
 
     def __len__(self) -> int:
         return len(self._rank_hosts)
@@ -89,9 +95,9 @@ class HostIndex:
             # New hosts carry the largest serial so far: append, stays sorted.
             self._idle_serials.append(serial)
             self._idle_hosts.append(host)
-        hist = self._idle_gpu_hist
-        idle = host.idle_gpus
-        hist[idle] = hist.get(idle, 0) + 1
+        self._hosts_by_id[host_id] = host
+        bucket = self._idle_buckets.setdefault(host.idle_gpus, [])
+        insort(bucket, host_id)
 
     def discard(self, host: Host) -> None:
         """Drop a host from every view (idempotent)."""
@@ -108,13 +114,8 @@ class HostIndex:
                 and self._idle_serials[idle_position] == serial:
             del self._idle_serials[idle_position]
             del self._idle_hosts[idle_position]
-        idle = -key[1]
-        hist = self._idle_gpu_hist
-        remaining = hist[idle] - 1
-        if remaining:
-            hist[idle] = remaining
-        else:
-            del hist[idle]
+        del self._hosts_by_id[host_id]
+        self._bucket_remove(-key[1], host_id)
 
     def reindex(self, host: Host) -> None:
         """Re-file a host whose counters changed (no-op if not indexed)."""
@@ -133,13 +134,8 @@ class HostIndex:
             self._entry_keys[host_id] = new_key
             old_idle, new_idle = -old_key[1], -new_key[1]
             if new_idle != old_idle:
-                hist = self._idle_gpu_hist
-                remaining = hist[old_idle] - 1
-                if remaining:
-                    hist[old_idle] = remaining
-                else:
-                    del hist[old_idle]
-                hist[new_idle] = hist.get(new_idle, 0) + 1
+                self._bucket_remove(old_idle, host_id)
+                insort(self._idle_buckets.setdefault(new_idle, []), host_id)
         # is_idle (no active training) can flip even when the rank key does
         # not change back to a previously seen value, so check it directly.
         serial = self._idle_serial_of[host_id]
@@ -153,6 +149,13 @@ class HostIndex:
         elif indexed_idle:
             del self._idle_serials[position]
             del self._idle_hosts[position]
+
+    def _bucket_remove(self, idle: int, host_id: str) -> None:
+        bucket = self._idle_buckets[idle]
+        if len(bucket) == 1:
+            del self._idle_buckets[idle]
+        else:
+            del bucket[bisect_left(bucket, host_id)]
 
     # ------------------------------------------------------------------
     # Queries.
@@ -175,28 +178,42 @@ class HostIndex:
         """Number of active hosts with at least ``min_idle`` idle GPUs."""
         if min_idle <= 0:
             return len(self._rank_hosts)
-        return sum(count for idle, count in self._idle_gpu_hist.items()
+        return sum(len(bucket) for idle, bucket in self._idle_buckets.items()
                    if idle >= min_idle)
 
     def most_idle_host(self, min_idle: int) -> Optional[Host]:
         """The host maximizing ``(idle_gpus, host_id)`` with at least
         ``min_idle`` idle GPUs (the Batch baseline's FCFS rank), or None.
 
-        Walks the rank order, which within a committed-GPU tier is sorted by
-        idle GPUs *descending* — but committed tiers come first, so this is a
-        full scan in the worst case; the histogram check above short-circuits
-        the hopeless (fully loaded) case, which dominates the wait loops.
+        Served straight from the idle-GPU buckets: the best qualifying
+        bucket is the maximum over a handful of distinct idle counts, and
+        the winner within it is the bucket's last (largest) host id —
+        O(buckets), never a host-list scan.  The selection is identical to
+        ``max(qualifying_hosts, key=lambda h: (h.idle_gpus, h.host_id))``.
         """
-        best: Optional[Host] = None
-        if not self.hosts_with_idle_gpus(min_idle):
+        best_idle = -1
+        for idle in self._idle_buckets:
+            if idle >= min_idle and idle > best_idle:
+                best_idle = idle
+        if best_idle < 0:
             return None
-        for host in self._rank_hosts:
-            idle = host.idle_gpus
+        return self._hosts_by_id[self._idle_buckets[best_idle][-1]]
+
+    def iter_hosts_by_idle_desc(self, min_idle: int) -> Iterator[Host]:
+        """Hosts with at least ``min_idle`` idle GPUs, best bucket first.
+
+        Yields in ``(idle_gpus descending, host_id ascending)`` order — the
+        enumeration order of the sort-based scans the LCP baseline replaced,
+        restricted to the qualifying buckets so a wait-loop probe touches
+        only hosts that can actually serve the request.  Do not mutate the
+        index while iterating.
+        """
+        hosts_by_id = self._hosts_by_id
+        for idle in sorted(self._idle_buckets, reverse=True):
             if idle < min_idle:
-                continue
-            if best is None or (idle, host.host_id) > (best.idle_gpus, best.host_id):
-                best = host
-        return best
+                break
+            for host_id in self._idle_buckets[idle]:
+                yield hosts_by_id[host_id]
 
     # ------------------------------------------------------------------
     # Invariant checking (tests).
@@ -216,7 +233,10 @@ class HostIndex:
             self._rank_hosts, key=lambda h: self._idle_serial_of[h.host_id])
             if h.is_idle]
         assert self._idle_hosts == expected_idle, "idle view out of sync"
-        hist: Dict[int, int] = {}
+        buckets: Dict[int, List[str]] = {}
         for host in self._rank_hosts:
-            hist[host.idle_gpus] = hist.get(host.idle_gpus, 0) + 1
-        assert hist == self._idle_gpu_hist, "idle-GPU histogram out of sync"
+            buckets.setdefault(host.idle_gpus, []).append(host.host_id)
+        assert {idle: sorted(ids) for idle, ids in buckets.items()} == \
+            self._idle_buckets, "idle-GPU buckets out of sync"
+        assert self._hosts_by_id == \
+            {h.host_id: h for h in self._rank_hosts}, "host map out of sync"

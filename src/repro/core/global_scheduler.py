@@ -12,6 +12,14 @@ from __future__ import annotations
 from itertools import count
 from typing import Dict, List, Optional
 
+from repro.api.hooks import (
+    MIGRATION,
+    PLACEMENT_DECISION,
+    PLATFORM_EVENT,
+    SCALE_IN,
+    SCALE_OUT,
+    HookBus,
+)
 from repro.cluster.datastore import DistributedDataStore
 from repro.cluster.host import Host
 from repro.cluster.index import HostIndex
@@ -144,6 +152,11 @@ class ClusterState:
         ``min_idle`` idle GPUs, or ``None``."""
         return self.index.most_idle_host(min_idle)
 
+    def iter_hosts_by_idle_desc(self, min_idle: int):
+        """Active hosts with >= ``min_idle`` idle GPUs, most-idle bucket
+        first (ids ascending within a bucket); see HostIndex."""
+        return self.index.iter_hosts_by_idle_desc(min_idle)
+
     def subscription_ratio(self, replication_factor: int) -> float:
         """Cluster-wide SR from the incremental totals (matches a scan)."""
         if self._total_gpus == 0 or replication_factor == 0:
@@ -161,7 +174,8 @@ class GlobalScheduler:
                  provisioner: VMProvisioner, prewarmer: ContainerPrewarmer,
                  datastore: DistributedDataStore, metrics: MetricsCollector,
                  placement: Optional[PlacementPolicy] = None,
-                 rng: Optional[SeededRandom] = None) -> None:
+                 rng: Optional[SeededRandom] = None,
+                 hooks: Optional[HookBus] = None) -> None:
         self.env = env
         self.cluster = cluster
         self.config = platform_config
@@ -170,6 +184,12 @@ class GlobalScheduler:
         self.prewarmer = prewarmer
         self.datastore = datastore
         self.metrics = metrics
+        # Standalone construction (tests, tools) gets a private bus with the
+        # metrics collector seated exactly as the platform would seat it.
+        if hooks is None:
+            hooks = HookBus()
+            hooks.subscribe(PLATFORM_EVENT, metrics.record_event, first=True)
+        self.hooks = hooks
         self.placement = placement or LeastLoadedPlacement(
             oversubscription_enabled=platform_config.oversubscription_enabled,
             subscription_ratio_limit=platform_config.subscription_ratio_limit,
@@ -182,6 +202,10 @@ class GlobalScheduler:
         # Per-instance counter so that repeated runs with the same seed
         # produce identical kernel ids (and therefore identical rng streams).
         self._kernel_counter = count(1)
+
+    def _publish_event(self, kind: EventKind, detail: str = "") -> None:
+        """Publish one discrete platform event (metrics subscribe to these)."""
+        self.hooks.publish(PLATFORM_EVENT, self.env.now, kind, detail)
 
     # ------------------------------------------------------------------
     # Kernel creation (§3.2.1, Figure 4).
@@ -211,13 +235,14 @@ class GlobalScheduler:
                 fallback = sorted(self.cluster.active_hosts,
                                   key=lambda h: h.subscribed_gpus)[:replication]
                 decision.hosts = fallback
+        self.hooks.publish(PLACEMENT_DECISION, self.env.now, kernel_id, decision)
         kernel = DistributedKernel(kernel_id=kernel_id, session_id=session_id,
                                    resource_request=resource_request,
                                    assignment=assignment, created_at=self.env.now)
         kernel.election = ExecutorElection(
             kernel_id, rng=self._rng.substream(f"election:{kernel_id}"))
         checkpoint = CheckpointManager(env=self.env, datastore=self.datastore,
-                                       kernel_id=kernel_id)
+                                       kernel_id=kernel_id, hooks=self.hooks)
         kernel.synchronizer = StateSynchronizer(
             self.env, kernel_id, checkpoint,
             rng=self._rng.substream(f"sync:{kernel_id}"))
@@ -232,8 +257,8 @@ class GlobalScheduler:
         for process in start_processes:
             kernel.add_replica(process.value)
         self.kernels[kernel_id] = kernel
-        self.metrics.record_event(self.env.now, EventKind.KERNEL_CREATED,
-                                  f"{kernel_id} on {kernel.host_ids}")
+        self._publish_event(EventKind.KERNEL_CREATED,
+                            f"{kernel_id} on {kernel.host_ids}")
         return kernel
 
     def shutdown_kernel(self, kernel: DistributedKernel):
@@ -246,8 +271,7 @@ class GlobalScheduler:
             yield AllOf(self.env, processes)
         kernel.terminated_at = self.env.now
         self.kernels.pop(kernel.kernel_id, None)
-        self.metrics.record_event(self.env.now, EventKind.KERNEL_TERMINATED,
-                                  kernel.kernel_id)
+        self._publish_event(EventKind.KERNEL_TERMINATED, kernel.kernel_id)
         return kernel
 
     # ------------------------------------------------------------------
@@ -314,8 +338,8 @@ class GlobalScheduler:
         if target is None:
             self.migrations_aborted += 1
             victim.state = ReplicaState.IDLE
-            self.metrics.record_event(self.env.now, EventKind.ELECTION_FAILED,
-                                      f"{kernel.kernel_id}: migration aborted")
+            self._publish_event(EventKind.ELECTION_FAILED,
+                                f"{kernel.kernel_id}: migration aborted")
             return None
 
         # The target host must be able to *immediately and exclusively* bind
@@ -342,8 +366,10 @@ class GlobalScheduler:
         kernel.remove_replica(victim.replica_id)
         kernel.add_replica(new_replica)
         kernel.migrations += 1
-        self.metrics.record_event(self.env.now, EventKind.KERNEL_MIGRATION,
-                                  f"{kernel.kernel_id}: {victim.host_id} -> {target.host_id}")
+        self._publish_event(EventKind.KERNEL_MIGRATION,
+                            f"{kernel.kernel_id}: {victim.host_id} -> {target.host_id}")
+        self.hooks.publish(MIGRATION, self.env.now, kernel.kernel_id,
+                           victim.host_id, target.host_id)
         return new_replica
 
     # ------------------------------------------------------------------
@@ -371,8 +397,9 @@ class GlobalScheduler:
                     rng=self._rng.substream(f"ls:{host.host_id}"),
                     processing_delay=self.config.ls_processing_s)
                 self.cluster.add_host(host, scheduler)
-            self.metrics.record_event(self.env.now, EventKind.SCALE_OUT,
-                                      f"+{len(hosts)} hosts ({reason})")
+            self._publish_event(EventKind.SCALE_OUT,
+                                f"+{len(hosts)} hosts ({reason})")
+            self.hooks.publish(SCALE_OUT, self.env.now, len(hosts), reason)
             return hosts
         finally:
             self.pending_scale_out -= num_hosts
@@ -394,8 +421,8 @@ class GlobalScheduler:
             self.provisioner.release(host)
             self.cluster.remove_host(host.host_id)
         if to_release:
-            self.metrics.record_event(self.env.now, EventKind.SCALE_IN,
-                                      f"-{len(to_release)} hosts")
+            self._publish_event(EventKind.SCALE_IN, f"-{len(to_release)} hosts")
+            self.hooks.publish(SCALE_IN, self.env.now, len(to_release))
         return to_release
 
     # ------------------------------------------------------------------
@@ -403,14 +430,16 @@ class GlobalScheduler:
     # ------------------------------------------------------------------
     def handle_replica_failure(self, kernel: DistributedKernel, replica: KernelReplica):
         """Simulation process: recreate a failed replica from persisted state."""
-        self.metrics.record_event(self.env.now, EventKind.REPLICA_FAILURE,
-                                  f"{kernel.kernel_id}/{replica.replica_id}")
+        self._publish_event(EventKind.REPLICA_FAILURE,
+                            f"{kernel.kernel_id}/{replica.replica_id}")
         scheduler = self.cluster.scheduler_for(replica.host_id)
         yield from scheduler.terminate_replica(replica)
         kernel.remove_replica(replica.replica_id)
         decision = self.placement.candidate_hosts(
             self.cluster, kernel.resource_request, 1,
             self.config.replication_factor, exclude_hosts=kernel.host_ids)
+        self.hooks.publish(PLACEMENT_DECISION, self.env.now,
+                           kernel.kernel_id, decision)
         target = decision.hosts[0] if decision.hosts else replica.host
         new_scheduler = self.cluster.scheduler_for(target.host_id)
         new_replica = yield from new_scheduler.start_kernel_replica(

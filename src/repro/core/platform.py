@@ -6,14 +6,19 @@ pre-warmed container pool, distributed data store, auto-scaler, Jupyter
 Server, and metrics collector — and replays a workload trace against a
 scheduling policy.
 
-:func:`run_experiment` is the one-call entry point used by the examples and
-the benchmark harnesses::
+Every lifecycle occurrence (session start/end, task submit/complete,
+placement decisions, checkpoints, migrations, scale events) is published
+through a :class:`~repro.api.hooks.HookBus`; the metrics collector is seated
+as the bus's *first* subscriber, so custom instrumentation observes a
+collector that already reflects each event.  Hook callbacks are synchronous
+and add zero events to the simulation timeline.
 
-    from repro import run_experiment
-    from repro.workload import AdobeTraceGenerator
+Preferred entry point: the :class:`repro.api.Simulation` builder.
+:func:`run_experiment` below remains as a thin deprecated shim over it::
 
-    trace = AdobeTraceGenerator(seed=1, num_sessions=20, duration_hours=2).generate()
-    result = run_experiment(trace, policy="notebookos")
+    from repro.api import Simulation
+
+    result = Simulation.from_scenario("smoke", policy="notebookos").run()
     print(result.summary())
 """
 
@@ -22,6 +27,16 @@ from __future__ import annotations
 import time as _wallclock
 from typing import Dict, List, Optional, Union
 
+from repro.api.hooks import (
+    RUN_END,
+    RUN_START,
+    SESSION_END,
+    SESSION_START,
+    TASK_COMPLETE,
+    TASK_SUBMIT,
+    PLATFORM_EVENT,
+    HookBus,
+)
 from repro.cluster.datastore import DistributedDataStore
 from repro.cluster.prewarmer import ContainerPrewarmer, PrewarmPolicy
 from repro.cluster.provisioner import VMProvisioner
@@ -46,7 +61,8 @@ class NotebookOSPlatform:
     """A fully wired NotebookOS deployment running inside the simulator."""
 
     def __init__(self, policy, cluster_config: Optional[ClusterConfig] = None,
-                 platform_config: Optional[PlatformConfig] = None) -> None:
+                 platform_config: Optional[PlatformConfig] = None,
+                 hooks: Optional[HookBus] = None) -> None:
         self.policy = policy
         self.cluster_config = cluster_config or ClusterConfig()
         self.config = platform_config or PlatformConfig()
@@ -58,6 +74,14 @@ class NotebookOSPlatform:
         self.network = Network(self.env, rng=self.rng.substream("network"))
         self.metrics = MetricsCollector(
             sample_interval=self.config.metrics_sample_interval_s)
+        # The metrics collector is the hook bus's FIRST subscriber: every
+        # discrete platform event reaches it through PLATFORM_EVENT before
+        # any user hook runs, so instrumentation sees an up-to-date
+        # collector.  Callbacks are synchronous — the bus adds no events to
+        # the simulation timeline (golden-pinned).
+        self.hooks = hooks if hooks is not None else HookBus()
+        self.hooks.subscribe(PLATFORM_EVENT, self.metrics.record_event,
+                             first=True)
         self.breakdown = LatencyBreakdown(policy=getattr(policy, "name", "unknown"))
         self.gpu_binding = GpuBindingModel()
 
@@ -90,7 +114,7 @@ class NotebookOSPlatform:
             self.env, self.cluster, self.config, self.cluster_config,
             provisioner=self.provisioner, prewarmer=self.prewarmer,
             datastore=self.datastore, metrics=self.metrics, placement=placement,
-            rng=self.rng.substream("global-scheduler"))
+            rng=self.rng.substream("global-scheduler"), hooks=self.hooks)
         self.autoscaler = AutoScaler(self.env, self.global_scheduler,
                                      self.config, self.cluster_config)
         self.jupyter_server = JupyterServer(
@@ -101,6 +125,16 @@ class NotebookOSPlatform:
         self.active_session_count = 0
         self.active_training_count = 0
         self._background_processes: List = []
+
+    def detach_metrics(self) -> None:
+        """Stop routing bus events into this platform's collector.
+
+        A :class:`HookBus` can outlive the platform it was first attached to
+        (e.g. a :class:`~repro.api.Simulation` that is run twice); detaching
+        keeps a finished run's collector from recording a later run's
+        events.  Idempotent.
+        """
+        self.hooks.unsubscribe(PLATFORM_EVENT, self.metrics.record_event)
 
     # ------------------------------------------------------------------
     # Helpers used by policies.
@@ -114,25 +148,46 @@ class NotebookOSPlatform:
     # ------------------------------------------------------------------
     def run_workload(self, trace: Trace, until: Optional[float] = None) -> ExperimentResult:
         """Replay ``trace`` under this platform's policy and collect metrics."""
+        from repro.statesync.ast_analysis import ast_cache_stats
+
         started_wallclock = _wallclock.monotonic()
-        horizon = until if until is not None else trace.duration
-        self.env.process(self._sampler_loop(horizon), name="metrics-sampler")
-        if self.policy.uses_autoscaler and self.config.autoscaler_enabled:
-            self.autoscaler.start()
-        session_processes = [
-            self.env.process(self._session_process(session),
-                             name=f"session:{session.session_id}")
-            for session in trace]
-        if session_processes:
-            self.env.run(until=AllOf(self.env, session_processes))
-        if self.env.now < horizon:
-            self.env.run(until=horizon)
-        self._finalize_metrics()
-        result = ExperimentResult(policy=getattr(self.policy, "name", "unknown"),
-                                  trace_name=trace.name, collector=self.metrics,
-                                  wall_clock_runtime=_wallclock.monotonic() - started_wallclock,
-                                  breakdown=self.breakdown)
-        return result
+        ast_hits_before, ast_misses_before = ast_cache_stats()
+        # (Re-)seat the collector first on the bus: idempotent for the normal
+        # construct-then-run flow, and restores the subscription the previous
+        # run's teardown removed if this platform is driven twice.
+        self.detach_metrics()
+        self.hooks.subscribe(PLATFORM_EVENT, self.metrics.record_event,
+                             first=True)
+        try:
+            self.hooks.publish(RUN_START, self, trace)
+            horizon = until if until is not None else trace.duration
+            self.env.process(self._sampler_loop(horizon), name="metrics-sampler")
+            if self.policy.uses_autoscaler and self.config.autoscaler_enabled:
+                self.autoscaler.start()
+            session_processes = [
+                self.env.process(self._session_process(session),
+                                 name=f"session:{session.session_id}")
+                for session in trace]
+            if session_processes:
+                self.env.run(until=AllOf(self.env, session_processes))
+            if self.env.now < horizon:
+                self.env.run(until=horizon)
+            self._finalize_metrics()
+            result = ExperimentResult(policy=getattr(self.policy, "name", "unknown"),
+                                      trace_name=trace.name, collector=self.metrics,
+                                      wall_clock_runtime=_wallclock.monotonic() - started_wallclock,
+                                      breakdown=self.breakdown)
+            ast_hits, ast_misses = ast_cache_stats()
+            self.hooks.publish(RUN_END, self, result, {
+                "ast_cache_hits": ast_hits - ast_hits_before,
+                "ast_cache_misses": ast_misses - ast_misses_before,
+            })
+            return result
+        finally:
+            # The run is over (or died): retire this collector from the bus
+            # so a shared bus reused for another platform cannot keep
+            # appending into this run's metrics.
+            self.detach_metrics()
 
     def _finalize_metrics(self) -> None:
         self.metrics.datastore_read_latencies = list(self.datastore.read_latencies)
@@ -143,6 +198,7 @@ class NotebookOSPlatform:
     # ------------------------------------------------------------------
     def _session_process(self, session: SessionTrace):
         env = self.env
+        publish = self.hooks.publish
         if session.start_time > env.now:
             yield session.start_time - env.now
         notebook_session = NotebookSession(
@@ -153,8 +209,9 @@ class NotebookOSPlatform:
         self.sessions[session.session_id] = notebook_session
         self.jupyter_server.register_session(notebook_session)
         self.active_session_count += 1
-        self.metrics.record_event(env.now, EventKind.SESSION_STARTED,
-                                  session.session_id)
+        publish(PLATFORM_EVENT, env.now, EventKind.SESSION_STARTED,
+                session.session_id)
+        publish(SESSION_START, env.now, session)
         try:
             # The zero-sleeps bracketing the two session-lifecycle hooks
             # reproduce the bootstrap/completion event timing of the
@@ -174,6 +231,7 @@ class NotebookOSPlatform:
                 metrics = self.metrics.new_task(
                     session_id=session.session_id, kernel_id=notebook_session.kernel_id,
                     submitted_at=env.now, gpus=task.gpus, is_gpu_task=task.is_gpu_task)
+                publish(TASK_SUBMIT, env.now, session, task, metrics)
                 if task.is_gpu_task:
                     self.active_training_count += 1
                 try:
@@ -183,6 +241,7 @@ class NotebookOSPlatform:
                     if task.is_gpu_task:
                         self.active_training_count -= 1
                 self.breakdown.add(metrics.steps)
+                publish(TASK_COMPLETE, env.now, session, task, metrics)
             if session.end_time > env.now:
                 yield session.end_time - env.now
             yield 0.0
@@ -193,8 +252,9 @@ class NotebookOSPlatform:
             # the session process is torn down with an exception in flight.
             notebook_session.terminate(env.now)
             self.active_session_count -= 1
-            self.metrics.record_event(env.now, EventKind.SESSION_TERMINATED,
-                                      session.session_id)
+            publish(PLATFORM_EVENT, env.now, EventKind.SESSION_TERMINATED,
+                    session.session_id)
+            publish(SESSION_END, env.now, session)
 
     # ------------------------------------------------------------------
     # Periodic cluster sampling.
@@ -224,48 +284,31 @@ def run_experiment(trace: Trace, policy: Union[str, object] = "notebookos",
                    cluster_config: Optional[ClusterConfig] = None,
                    platform_config: Optional[PlatformConfig] = None,
                    seed: Optional[int] = None) -> ExperimentResult:
-    """Run one trace under one policy and return the collected metrics.
+    """Deprecated shim: run one trace under one policy.
+
+    Use :class:`repro.api.Simulation` instead — this function delegates to
+    it (bit-identically; the API regression tests pin the equivalence)::
+
+        result = (Simulation.from_trace(trace)
+                  .with_policy(policy).with_seed(seed)
+                  .run())
 
     ``policy`` may be a registry name (``"notebookos"``, ``"reservation"``,
-    ``"batch"``, ``"lcp"``) or an already constructed policy object.  When no
-    cluster configuration is supplied, a sensible default is chosen per
-    policy: elastic policies (NotebookOS, LCP) start with a small cluster and
-    rely on auto-scaling; Reservation and Batch get a cluster large enough to
-    hold the trace's peak demand, mirroring the statically provisioned
-    clusters those baselines represent.
+    ``"batch"``, ``"lcp"``, or anything registered with
+    :func:`repro.api.register_policy`) or an already constructed policy
+    object.  When no cluster configuration is supplied, a per-policy default
+    is chosen (see :func:`repro.api.simulation.default_cluster_config`).
     """
-    from repro.policies import make_policy
+    from repro.api.registry import UnknownPolicyError
+    from repro.api.simulation import Simulation
 
-    if isinstance(policy, str):
-        policy_obj = make_policy(policy)
-    else:
-        policy_obj = policy
-
-    platform_config = platform_config or PlatformConfig()
+    try:
+        simulation = Simulation.from_trace(trace).with_policy(policy)
+    except UnknownPolicyError as error:
+        # Historical contract: unknown policy names raise ValueError here.
+        raise ValueError(error.args[0]) from None
     if seed is not None:
-        platform_config.seed = seed
-    if cluster_config is None:
-        peak_gpus = _peak_gpu_demand(trace)
-        gpus_per_host = 8
-        if getattr(policy_obj, "uses_autoscaler", False):
-            initial = max(2, (peak_gpus // gpus_per_host) // 4 + 1)
-        else:
-            initial = max(2, peak_gpus // gpus_per_host + 2)
-        cluster_config = ClusterConfig(initial_hosts=initial,
-                                       max_hosts=max(60, initial * 4))
-    platform = NotebookOSPlatform(policy_obj, cluster_config=cluster_config,
-                                  platform_config=platform_config)
-    return platform.run_workload(trace)
-
-
-def _peak_gpu_demand(trace: Trace) -> int:
-    """Peak GPUs reserved by concurrently active sessions."""
-    events = []
-    for session in trace:
-        events.append((session.start_time, session.gpus_requested))
-        events.append((session.end_time, -session.gpus_requested))
-    peak = current = 0
-    for _, delta in sorted(events):
-        current += delta
-        peak = max(peak, current)
-    return max(peak, 8)
+        simulation.with_seed(seed)
+    simulation.with_config(platform_config=platform_config,
+                           cluster_config=cluster_config)
+    return simulation.run()

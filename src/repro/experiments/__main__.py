@@ -19,10 +19,14 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.experiments.runner import RunOutcome, run_specs
-from repro.experiments.scenarios import default_registry
-from repro.experiments.store import ResultStore
-from repro.experiments.sweep import SweepGrid
+from repro.api import (
+    ResultStore,
+    RunOutcome,
+    SweepGrid,
+    default_policy_registry,
+    default_registry,
+    run_specs,
+)
 
 SUMMARY_COLUMNS = ["scenario", "policy", "seed", "tasks", "interact_p50_s",
                    "interact_p95_s", "tct_p50_s", "gpu_hours", "migrations",
@@ -91,6 +95,10 @@ def cmd_list(args) -> int:
               f"preset={scenario.config_preset} seed={scenario.default_seed}")
         print(f"           {scenario.description}")
         print(f"           knobs: {kwargs}")
+    print("\npolicies:")
+    for entry in default_policy_registry():
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"{entry.name:<12} {entry.description}{aliases}")
     store = ResultStore(args.store_dir)
     entries = list(store.entries())
     print(f"\nresult store: {store.root.resolve()} ({len(entries)} cached "

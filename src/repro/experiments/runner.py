@@ -21,7 +21,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.scenarios import ScenarioSpec, build_trace, resolve_configs
+from repro.experiments.scenarios import ScenarioSpec
 from repro.experiments.store import ResultStore
 from repro.metrics.collector import ExperimentResult
 
@@ -44,16 +44,12 @@ def _execute_spec(spec_dict: Dict[str, object]) -> Dict[str, object]:
     Module-level so it pickles under every multiprocessing start method.
     Determinism needs no extra per-worker seeding: the spec carries the seed,
     and the simulator's randomness all flows from ``SeededRandom(seed)``.
+    Execution goes through the :class:`repro.api.Simulation` façade — the
+    one code path every entry point shares.
     """
-    from repro import run_experiment
+    from repro.api.simulation import Simulation
 
-    spec = ScenarioSpec.from_dict(spec_dict)
-    trace = build_trace(spec)
-    platform_config, cluster_config = resolve_configs(spec, trace)
-    result = run_experiment(trace, policy=spec.policy, seed=spec.seed,
-                            platform_config=platform_config,
-                            cluster_config=cluster_config)
-    return result.to_dict()
+    return Simulation.from_spec(spec_dict).run().to_dict()
 
 
 def run_specs(specs: Sequence[ScenarioSpec], workers: int = 1,

@@ -14,8 +14,18 @@ how cell executions acquire GPUs, and what "provisioned GPUs" means:
 * :class:`LargeContainerPoolPolicy` — NotebookOS (LCP): a large shared pool
   of pre-warmed containers traded against interactivity;
 * :mod:`repro.policies.oracle` — the oracle curve (exact GPUs required).
+
+Each class registers itself with the :mod:`repro.api` policy registry
+(``@register_policy("name")``), which is how every entry point — the
+:class:`~repro.api.Simulation` builder, the experiment sweeps and CLI, the
+benchmarks — resolves policy names.  Third-party policies register the same
+way; nothing here is special-cased (see EXPERIMENTS.md, "Extending repro").
+
+``POLICY_REGISTRY`` and :func:`make_policy` below are deprecated shims kept
+for source compatibility; use ``repro.api.default_policy_registry()``.
 """
 
+from repro.api.registry import default_policy_registry
 from repro.policies.base import SchedulingPolicy
 from repro.policies.notebookos import NotebookOSPolicy
 from repro.policies.reservation import ReservationPolicy
@@ -23,6 +33,10 @@ from repro.policies.batch import BatchPolicy
 from repro.policies.lcp import LargeContainerPoolPolicy
 from repro.policies.oracle import oracle_gpu_timeline
 
+#: Deprecated: name -> class mapping, kept for source compatibility with the
+#: pre-``repro.api`` layout.  New code should use
+#: ``repro.api.default_policy_registry()``, which also sees policies
+#: registered by downstream code.
 POLICY_REGISTRY = {
     "notebookos": NotebookOSPolicy,
     "reservation": ReservationPolicy,
@@ -33,13 +47,18 @@ POLICY_REGISTRY = {
 
 
 def make_policy(name: str, **kwargs) -> SchedulingPolicy:
-    """Instantiate a policy by its registry name."""
+    """Deprecated shim: instantiate a policy by its registry name.
+
+    Delegates to the :mod:`repro.api` policy registry (so it also resolves
+    policies registered after import, unlike the frozen ``POLICY_REGISTRY``
+    dict).  Unknown names raise ``ValueError`` exactly as before.
+    """
+    from repro.api.registry import UnknownPolicyError
+
     try:
-        policy_cls = POLICY_REGISTRY[name.lower()]
-    except KeyError:
-        raise ValueError(f"unknown policy {name!r}; choose from "
-                         f"{sorted(POLICY_REGISTRY)}") from None
-    return policy_cls(**kwargs)
+        return default_policy_registry().create(name, **kwargs)
+    except UnknownPolicyError as error:
+        raise ValueError(error.args[0]) from None
 
 
 __all__ = [

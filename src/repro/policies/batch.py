@@ -14,6 +14,7 @@ from collections import deque
 from itertools import count
 from typing import TYPE_CHECKING, Optional
 
+from repro.api.registry import register_policy
 from repro.cluster.host import Host
 from repro.cluster.resources import ResourceRequest
 from repro.metrics.collector import TaskMetrics
@@ -24,6 +25,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.platform import NotebookOSPlatform
 
 
+@register_policy("batch",
+                 description="FCFS batch GPU scheduling: fresh container per "
+                             "submission, data staged in and out every time")
 class BatchPolicy(SchedulingPolicy):
     """First-come, first-served on-demand containers and GPU allocation."""
 
@@ -40,9 +44,10 @@ class BatchPolicy(SchedulingPolicy):
     # FCFS admission.
     # ------------------------------------------------------------------
     def _find_host(self, platform: "NotebookOSPlatform", gpus: int) -> Optional[Host]:
-        # Served by the cluster's host index: the idle-GPU histogram rejects
-        # hopeless polls O(1) while the FCFS queue waits for capacity, and a
-        # hit picks max(idle_gpus, host_id) without materializing host lists.
+        # Served by the cluster's idle-GPU buckets: hopeless polls (no
+        # qualifying bucket) are rejected in O(buckets) while the FCFS queue
+        # waits for capacity, and a hit reads max(idle_gpus, host_id)
+        # straight off the best bucket — never a host-list scan.
         return platform.cluster.most_idle_host(gpus)
 
     def _acquire_host(self, platform: "NotebookOSPlatform", gpus: int):

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.api.registry import register_policy
 from repro.cluster.host import Host
 from repro.cluster.resources import ResourceRequest
 from repro.metrics.collector import TaskMetrics
@@ -23,6 +24,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.platform import NotebookOSPlatform
 
 
+@register_policy("lcp", aliases=("notebookos-lcp",),
+                 description="a large shared pool of pre-warmed containers "
+                             "traded against interactivity")
 class LargeContainerPoolPolicy(SchedulingPolicy):
     """Serve cell tasks from a large pool of shared pre-warmed containers."""
 
@@ -37,22 +41,21 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
     # Host / container acquisition.
     # ------------------------------------------------------------------
     def _find_host(self, platform: "NotebookOSPlatform", gpus: int) -> Optional[Host]:
-        cluster = platform.cluster
-        if not cluster.hosts_with_idle_gpus(gpus):
-            # O(1) histogram check: nothing can serve the task right now, so
-            # skip the scan entirely (the common case in the GPU wait loop).
-            return None
-        # Prefer hosts that already have a warm container available.  The
-        # rank key embeds the host id, so the minimum is unique and min()
-        # over any iteration order selects the same host the previous
-        # sorted(...)[0] did.
+        # Served from the cluster's idle-GPU buckets: only qualifying hosts
+        # are enumerated (best bucket first, host ids ascending), so the
+        # common few-hosts-qualify case costs O(answer) instead of the old
+        # O(n) rank-list scan.  The selection is identical to minimizing
+        # (-has_warm_container, -idle_gpus, host_id) over qualifying hosts:
+        # walking (idle desc, id asc), the first warm host is the minimum
+        # among warm hosts, and the very first host is the no-warm fallback.
         available = platform.prewarmer.available
-
-        def rank(host: Host):
-            return (-min(1, available(host.host_id)), -host.idle_gpus, host.host_id)
-
-        return min((h for h in cluster.iter_ranked() if h.idle_gpus >= gpus),
-                   key=rank, default=None)
+        fallback: Optional[Host] = None
+        for host in platform.cluster.iter_hosts_by_idle_desc(gpus):
+            if available(host.host_id):
+                return host
+            if fallback is None:
+                fallback = host
+        return fallback
 
     # ------------------------------------------------------------------
     # Cell execution.

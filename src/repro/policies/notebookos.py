@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.api.registry import register_policy
 from repro.cluster.resources import ResourceRequest
 from repro.core.distributed_kernel import DistributedKernel, ReplicaState
 from repro.metrics.collector import TaskMetrics
@@ -21,6 +22,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.platform import NotebookOSPlatform
 
 
+@register_policy("notebookos",
+                 description="replicated kernels, executor elections, dynamic "
+                             "GPU binding, oversubscription, migration")
 class NotebookOSPolicy(SchedulingPolicy):
     """Replicated kernels + dynamic GPU binding + oversubscription."""
 

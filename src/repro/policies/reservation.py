@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.api.registry import register_policy
 from repro.cluster.container import Container
 from repro.cluster.host import Host
 from repro.cluster.resources import ResourceRequest
@@ -33,6 +34,9 @@ class _Reservation:
     gpus_reserved: int
 
 
+@register_policy("reservation",
+                 description="one long-running container per session with "
+                             "exclusively reserved GPUs (today's NaaS)")
 class ReservationPolicy(SchedulingPolicy):
     """One long-running container per session with exclusively reserved GPUs."""
 

@@ -14,7 +14,12 @@ replicas up to date (§3.2.4).  This package implements that pipeline:
   Figure 11.
 """
 
-from repro.statesync.ast_analysis import CodeAnalysis, analyze_code
+from repro.statesync.ast_analysis import (
+    CodeAnalysis,
+    analyze_code,
+    ast_cache_stats,
+    clear_ast_cache,
+)
 from repro.statesync.objects import (
     LARGE_OBJECT_THRESHOLD_BYTES,
     NamespaceObject,
@@ -33,5 +38,7 @@ __all__ = [
     "StateSynchronizer",
     "SyncReport",
     "analyze_code",
+    "ast_cache_stats",
     "classify_object",
+    "clear_ast_cache",
 ]

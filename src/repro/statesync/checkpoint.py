@@ -30,7 +30,13 @@ class CheckpointRecord:
 
 @dataclass
 class CheckpointManager:
-    """Persists and restores a kernel's large objects."""
+    """Persists and restores a kernel's large objects.
+
+    When a :class:`~repro.api.hooks.HookBus` is attached, every completed
+    checkpoint write is published on the ``CHECKPOINT`` topic as
+    ``(time, kernel_id, object_name, size_bytes)`` — a synchronous
+    notification that adds nothing to the simulation timeline.
+    """
 
     env: Environment
     datastore: DistributedDataStore
@@ -39,6 +45,7 @@ class CheckpointManager:
     bytes_checkpointed: int = 0
     checkpoints_written: int = 0
     objects_restored: int = 0
+    hooks: Optional[object] = None
 
     def _key(self, name: str) -> str:
         return f"{self.kernel_id}/{name}"
@@ -52,6 +59,11 @@ class CheckpointManager:
                                                   written_at=self.env.now)
         self.bytes_checkpointed += obj.size_bytes
         self.checkpoints_written += 1
+        if self.hooks is not None:
+            from repro.api.hooks import CHECKPOINT
+
+            self.hooks.publish(CHECKPOINT, self.env.now, self.kernel_id,
+                               obj.name, obj.size_bytes)
         return pointer
 
     def checkpoint_all(self, objects: List[NamespaceObject],

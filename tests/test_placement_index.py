@@ -233,6 +233,10 @@ def test_cluster_views_match_scans(seed, num_hosts, num_ops):
                        key=lambda h: (h.idle_gpus, h.host_id)) \
             if candidates else None
         assert cluster.most_idle_host(min_idle) is expected
+        # The bucket walk enumerates exactly the qualifying hosts in the
+        # (idle desc, host_id asc) order the LCP sort-based scan produced.
+        assert list(cluster.iter_hosts_by_idle_desc(min_idle)) == \
+            sorted(candidates, key=lambda h: (-h.idle_gpus, h.host_id))
 
 
 def test_host_cached_counters_match_scans():

@@ -14,7 +14,9 @@ from repro.statesync import (
     ObjectClass,
     StateSynchronizer,
     analyze_code,
+    ast_cache_stats,
     classify_object,
+    clear_ast_cache,
 )
 from repro.statesync.synchronizer import SyncLatencyModel
 
@@ -22,6 +24,28 @@ from repro.statesync.synchronizer import SyncLatencyModel
 # ----------------------------------------------------------------------
 # AST analysis.
 # ----------------------------------------------------------------------
+
+def test_analysis_cache_hits_are_identical_to_fresh_parses():
+    """A memoized analysis equals (indeed *is*) the cold-cache analysis."""
+    code = ("import torch\n"
+            "model = build()\n"
+            "for epoch in range(3):\n"
+            "    history.append(train(model))\n")
+    clear_ast_cache()
+    cold = analyze_code(code)
+    warm = analyze_code(code)
+    assert warm is cold  # shared, treat-as-frozen
+    assert ast_cache_stats() == (1, 1)
+    clear_ast_cache()
+    refreshed = analyze_code(code)
+    assert refreshed is not cold
+    assert refreshed == cold
+    assert ast_cache_stats() == (0, 1)
+    # Syntax errors are memoized too (the flag is part of the analysis).
+    assert analyze_code("def broken(:").has_syntax_error
+    assert analyze_code("def broken(:").has_syntax_error
+    assert ast_cache_stats() == (1, 2)
+
 
 def test_simple_assignment_detected():
     analysis = analyze_code("learning_rate = 0.001\nepochs = 10")
