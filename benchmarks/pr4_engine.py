@@ -1,0 +1,829 @@
+"""Frozen copy of the PR 4 dispatch engine (single global heap).
+
+This module is the *baseline* side of ``benchmarks/bench_dispatch.py``: the
+event/engine implementation exactly as it shipped after the PR 2-4 fast
+paths but before the calendar-queue scheduler — one global ``(time, serial,
+item)`` heap, per-event heappush/heappop, no same-timestamp dispatch fusion
+— merged into one self-contained module so the microbenchmark can run the
+identical workload against both dispatchers in the same process and report
+an honest events-per-second ratio.
+
+Do not "fix" or optimize this file — its whole value is staying frozen.
+"""
+
+from __future__ import annotations
+
+import heapq
+from heapq import heappush
+from itertools import count
+from types import GeneratorType
+from typing import Any, Callable, Generator, Iterable, Optional, Tuple, TYPE_CHECKING
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` describing why the process was
+    interrupted (for example, a migration request arriving while a kernel
+    replica is idle-waiting).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+#: Sentinel stored in ``_callbacks`` once an event has been processed; it
+#: doubles as the "processed" flag so no separate boolean slot is needed.
+_PROCESSED = object()
+
+
+class Event:
+    """A one-shot waitable event.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules it with the environment; once the scheduler
+    pops it, every registered callback runs and waiting processes resume.
+
+    Failure escalation (``defused``)
+        A failed event normally delivers its exception to whoever waits on
+        it.  If the engine processes a failed event and *nothing* marked the
+        failure as handled, the exception would previously vanish silently;
+        now the engine re-raises it from :meth:`Environment.run` so broken
+        simulations fail loudly.  Setting :attr:`defused` to ``True``
+        suppresses that escalation.  It is set automatically when
+
+        * a waiting process has the exception thrown at its ``yield`` (the
+          waiter is now responsible for it),
+        * a condition event absorbs a child's failure, or
+        * a process dies of an uncaught :class:`Interrupt` — interruption is
+          deliberate cancellation, not an error.
+    """
+
+    __slots__ = ("env", "_callbacks", "_value", "_exception", "_triggered",
+                 "defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._callbacks: Any = None
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been triggered (scheduled for processing)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been executed."""
+        return self._callbacks is _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event was triggered successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def callbacks(self) -> Optional[Tuple[Callable[["Event"], None], ...]]:
+        """The registered callbacks (``None`` once processed).
+
+        Read-only introspection: a *tuple* snapshot, so the seed engine's
+        ``event.callbacks.append(cb)`` idiom fails loudly instead of
+        mutating a throwaway copy.  Register via :meth:`add_callback`.
+        """
+        cbs = self._callbacks
+        if cbs is _PROCESSED:
+            return None
+        if cbs is None:
+            return ()
+        if type(cbs) is list:
+            return tuple(cbs)
+        return (cbs,)
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises the failure exception if the event failed.
+        """
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have ``exception`` raised at their
+        ``yield`` statement.
+        """
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        cbs = self._callbacks
+        if cbs is _PROCESSED:
+            # Already processed: run immediately so late waiters still resume.
+            callback(self)
+        elif cbs is None:
+            self._callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
+        else:
+            self._callbacks = [cbs, callback]
+
+    def _run_callbacks(self) -> None:
+        cbs = self._callbacks
+        self._callbacks = _PROCESSED
+        if cbs is None or cbs is _PROCESSED:
+            return
+        if type(cbs) is list:
+            for callback in cbs:
+                callback(self)
+        else:
+            cbs(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._callbacks is _PROCESSED else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` simulation time.
+
+    Timeouts are created once per tick of every periodic loop, so the
+    constructor is pared to the bone: ``_exception`` and ``defused`` are
+    class-level constants (shadowing the :class:`Event` slots) because a
+    timeout can never fail — reads fall through to the class, and the two
+    per-instance writes are saved.  ``fail()`` on a timeout is already
+    impossible: it is born triggered.  As a consequence these two
+    attributes are *read-only* on timeouts: ``timeout.defused = True``
+    raises ``AttributeError`` — which is correct, since there can never be
+    a failure to defuse.
+    """
+
+    __slots__ = ("delay",)
+
+    _exception = None
+    defused = False
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        self.env = env
+        self.delay = delay
+        self._callbacks = None
+        self._value = value
+        self._triggered = True
+        heappush(env._queue, (env._now + delay, next(env._counter), self))
+
+
+class ConditionEvent(Event):
+    """Base class for events composed of several child events."""
+
+    __slots__ = ("events", "_completed")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        # Event.__init__ and add_callback inlined: one AllOf is built per
+        # fan-out (replica starts, session joins), right on the hot path.
+        self.env = env
+        self._callbacks = None
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self.defused = False
+        if type(events) is not list:
+            events = list(events)
+        self.events = events
+        self._completed: dict[Event, Any] = {}
+        if not events:
+            self.succeed({})
+            return
+        on_child = self._on_child
+        for event in events:
+            cbs = event._callbacks
+            if cbs is _PROCESSED:
+                on_child(event)
+            elif cbs is None:
+                event._callbacks = on_child
+            elif type(cbs) is list:
+                cbs.append(on_child)
+            else:
+                event._callbacks = [cbs, on_child]
+
+    def _on_child(self, event: Event) -> None:
+        # ``event.ok`` inlined: _on_child only ever sees processed (and
+        # therefore triggered) events, so "not ok" reduces to "failed".
+        if event._exception is not None:
+            # The condition adopts the child's failure: it either propagates
+            # it to its own waiters below, or (if already triggered) absorbs
+            # it — either way the child's failure is handled.
+            event.defused = True
+            if not self._triggered:
+                self.fail(event._exception)  # noqa: SLF001 - intentional propagation
+            return
+        if self._triggered:
+            return
+        self._completed[event] = event._value
+        if self._is_satisfied():
+            # _completed is never mutated after triggering, so it is handed
+            # out as the value without a defensive copy.
+            self.succeed(self._completed)
+
+    def _is_satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* child events have triggered successfully."""
+
+    __slots__ = ()
+
+    def _is_satisfied(self) -> bool:
+        return len(self._completed) == len(self.events)
+
+    def _on_child(self, event: Event) -> None:
+        # ConditionEvent._on_child with the satisfaction check and the
+        # ``ok`` property inlined: one AllOf child completes per replica
+        # start / session join, so both dispatches are worth skipping.
+        if event._exception is not None:
+            event.defused = True
+            if not self._triggered:
+                self.fail(event._exception)  # noqa: SLF001
+            return
+        if self._triggered:
+            return
+        completed = self._completed
+        completed[event] = event._value  # noqa: SLF001
+        if len(completed) == len(self.events):
+            self.succeed(completed)
+
+
+class AnyOf(ConditionEvent):
+    """Triggers once *any* child event has triggered successfully."""
+
+    __slots__ = ()
+
+    def _is_satisfied(self) -> bool:
+        return len(self._completed) >= 1
+
+    def _on_child(self, event: Event) -> None:
+        if event._exception is not None:
+            event.defused = True
+            if not self._triggered:
+                self.fail(event._exception)  # noqa: SLF001
+            return
+        if self._triggered:
+            return
+        self._completed[event] = event._value  # noqa: SLF001
+        self.succeed(self._completed)
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class _Call:
+    """A bare scheduled callback: the cheapest possible heap entry.
+
+    Implements just enough of the event-dispatch protocol (``_callbacks``,
+    ``_exception``, ``_value``) for the engine's pop loop —
+    and for :meth:`Process._resume` — to treat it like a processed-on-pop
+    event that succeeded with ``None``.  Used for process bootstrap,
+    interrupt delivery, and deferred internal callbacks
+    (:meth:`Environment.defer`), where a full :class:`Event` would be wasted
+    allocation.
+    """
+
+    __slots__ = ("_callbacks", "_exception", "_value", "payload")
+
+    # _exception/_value are real slots (not class-level constants): the
+    # reusable per-process sleep stub is popped many times, and a slot read
+    # beats an MRO lookup on every one of those pops.  ``payload`` is an
+    # optional uninitialized slot for callbacks that need one argument
+    # (e.g. the Interrupt instance an interrupt delivery will throw).
+
+    def __init__(self, fn) -> None:
+        self._callbacks = fn
+        self._exception = None
+        self._value = None
+
+
+_call_new = _Call.__new__
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process is itself an event: it triggers (with the generator's return
+    value) when the generator finishes, so other processes can ``yield`` it to
+    wait for completion.
+    """
+
+    __slots__ = ("_name", "_generator", "_waiting_on", "_resume_cb",
+                 "_sleep_call")
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        if type(generator) is not GeneratorType and not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}")
+        # Event.__init__ inlined: processes are created once per task/session.
+        # _value is deliberately left unset — the completion paths always
+        # write it (or _exception) before anything reads it.
+        self.env = env
+        self._callbacks = None
+        self._exception = None
+        self._triggered = False
+        self.defused = False
+        self._name = name
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bind the resume callback once; it is registered on every event this
+        # process ever waits for.  The bootstrap entry reuses it too: a _Call
+        # looks like an event that succeeded with None, so popping it drives
+        # the first generator step through the same fast path as any resume.
+        resume = self._resume
+        self._resume_cb = resume
+        call = _Call(resume)
+        # The bootstrap stub doubles as this process's reusable sleep stub:
+        # a process waits on at most one sleep at a time, so once the stub
+        # has been popped it can carry the next ``yield delay`` — zero
+        # allocations per sleep in the steady state.
+        self._sleep_call = call
+        heappush(env._queue, (env._now, next(env._counter), call))
+
+    @property
+    def name(self) -> str:
+        """The process name (defaults to the generator's function name)."""
+        return self._name or getattr(self._generator, "__name__", "process")
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._triggered:
+            return
+        env = self.env
+        call = _Call(self._deliver_interrupt)
+        call.payload = Interrupt(cause)
+        heappush(env._queue, (env._now, next(env._counter), call))
+
+    def _deliver_interrupt(self, call: _Call) -> None:
+        if not self._triggered:
+            self._step(throw=call.payload)
+
+    def _resume(self, event: Event) -> None:
+        # This is the hottest callback in the engine (every timeout tick and
+        # message delivery lands here), so _step's body is inlined — one
+        # Python call per resume instead of two — and the waiter
+        # registration skips Event.add_callback for the empty-slot case.
+        if self._triggered:
+            return
+        waiting = self._waiting_on
+        if event is not waiting and waiting is not None:
+            # A stale wake-up (e.g. the event we were interrupted away from).
+            return
+        # _waiting_on is deliberately NOT reset here: a finished process
+        # ignores every further wake-up via the _triggered guard above, and
+        # a process that keeps running overwrites it at its next yield.
+        try:
+            exc = event._exception  # noqa: SLF001 - engine-internal fast path
+            if exc is None:
+                target = self._generator.send(event._value)  # noqa: SLF001
+            else:
+                # The exception is about to be thrown at this process's
+                # yield: from here on, handling it is this process's
+                # responsibility.
+                event.defused = True
+                target = self._generator.throw(exc)
+        except StopIteration as stop:
+            # _finish inlined: trigger this process's completion event.
+            if not self._triggered:
+                self._triggered = True
+                self._value = stop.value
+                env = self.env
+                heappush(env._queue, (env._now, next(env._counter), self))
+            return
+        except Interrupt as interrupt:
+            if not self._triggered:
+                self._triggered = True
+                self._exception = interrupt
+                # Deliberate cancellation, not an engine-level error.
+                self.defused = True
+                env = self.env
+                heappush(env._queue, (env._now, next(env._counter), self))
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if not self._triggered:
+                self._triggered = True
+                self._exception = exc
+                env = self.env
+                heappush(env._queue, (env._now, next(env._counter), self))
+            return
+
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Sleep fast path: ``yield delay`` parks the process for ``delay``
+            # seconds without allocating an Event at all — just the heap stub.
+            # Scheduling order is identical to ``yield env.timeout(delay)``.
+            if target >= 0:
+                call = self._sleep_call
+                if call._callbacks is _PROCESSED:
+                    call._callbacks = self._resume_cb
+                else:
+                    # The stub is still pending in the heap (we were
+                    # interrupted away from it); it must keep its identity so
+                    # the stale-wake-up guard can reject it when it pops.
+                    call = _Call(self._resume_cb)
+                    self._sleep_call = call
+                self._waiting_on = call  # type: ignore[assignment]
+                env = self.env
+                heappush(env._queue, (env._now + target, next(env._counter), call))
+            else:
+                self._finish(exception=SimulationError(
+                    f"process {self.name!r} yielded a negative sleep: {target!r}"))
+        elif cls is Timeout or isinstance(target, Event):
+            self._waiting_on = target
+            cbs = target._callbacks  # noqa: SLF001 - add_callback inlined
+            if cbs is None:
+                target._callbacks = self._resume_cb
+            elif cbs is _PROCESSED:  # late waiter resumes now
+                self._resume(target)
+            elif type(cbs) is list:
+                cbs.append(self._resume_cb)
+            else:
+                target._callbacks = [cbs, self._resume_cb]
+        else:
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except Interrupt as interrupt:
+            self._finish(exception=interrupt)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._finish(exception=exc)
+            return
+
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Cold path (one _step per interrupt delivery): delegate to the
+            # shared helper rather than duplicating _resume's inline copy.
+            self._park_for_sleep(target)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._resume_cb)
+        else:
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+
+    def _park_for_sleep(self, delay) -> None:
+        """Park this process for ``delay`` seconds (the ``yield number`` form).
+
+        Single source of truth for the sleep-stub reuse rules; _resume
+        inlines an identical copy for speed — keep the two in sync.
+        """
+        if delay >= 0:
+            call = self._sleep_call
+            if call._callbacks is _PROCESSED:
+                call._callbacks = self._resume_cb
+            else:
+                # The stub is still pending in the heap (we were interrupted
+                # away from it); it must keep its identity so the stale-wake-
+                # up guard can reject it when it pops.
+                call = _Call(self._resume_cb)
+                self._sleep_call = call
+            self._waiting_on = call  # type: ignore[assignment]
+            env = self.env
+            heappush(env._queue, (env._now + delay, next(env._counter), call))
+        else:
+            self._finish(exception=SimulationError(
+                f"process {self.name!r} yielded a negative sleep: {delay!r}"))
+
+    def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        # succeed()/fail() inlined: _finish runs once per completed process
+        # and has already established that the event is untriggered.
+        self._waiting_on = None
+        if self._triggered:
+            return
+        self._triggered = True
+        if exception is not None:
+            self._exception = exception
+            if isinstance(exception, Interrupt):
+                # Dying of an uncaught Interrupt is deliberate cancellation
+                # (e.g. RaftNode.stop tearing down its loops), not an error
+                # the engine should escalate.  Waiters still receive it.
+                self.defused = True
+        else:
+            self._value = value
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Environment:
+    """Owns simulation time and the scheduled-event heap.
+
+    The factory helpers ``event``/``timeout``/``process`` are *instance*
+    attributes (closures created in ``__init__``) rather than methods: the
+    call sites are the hottest allocation points in the simulator, and a
+    closure call skips both the per-call bound-method allocation and — for
+    ``timeout`` and ``event`` — the type-call/``__init__`` dispatch, writing
+    the slots directly.  Their behaviour is identical to calling the
+    ``Timeout``/``Event``/``Process`` constructors.
+    """
+
+    __slots__ = ("_now", "_queue", "_counter", "_serials",
+                 "event", "timeout", "at", "process", "defer")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        queue: list[tuple[float, int, Any]] = []
+        self._queue = queue
+        counter = count()
+        self._counter = counter
+        self._serials: dict[str, int] = {}
+
+        # NOTE: these closures mirror Timeout.__init__ / Event.__init__ in
+        # events.py slot for slot; keep the two in sync.
+        timeout_new = Timeout.__new__
+
+        def timeout(delay: float, value: Any = None,
+                    _new=timeout_new, _cls=Timeout) -> Timeout:
+            """Create a timeout event that triggers after ``delay`` seconds."""
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = _new(_cls)
+            t.env = self
+            t.delay = delay
+            t._callbacks = None
+            t._value = value
+            t._triggered = True
+            heappush(queue, (self._now + delay, next(counter), t))
+            return t
+
+        self.timeout = timeout
+
+        def at(time: float, value: Any = None,
+               _new=timeout_new, _cls=Timeout) -> Timeout:
+            """A timeout that fires at *absolute* simulation time ``time``.
+
+            ``yield env.at(t)`` parks the process until exactly ``t`` — no
+            float round-off from re-deriving a relative delay.  The batched
+            request-path fast paths accumulate their per-hop delays into an
+            absolute wake-up time with the same float additions the
+            individual sleeps performed, then schedule one event at that
+            exact time: one heap entry instead of several, with bit-identical
+            timestamps.
+            """
+            now = self._now
+            if time < now:
+                raise ValueError(
+                    f"cannot sleep until {time}: simulation time is already {now}")
+            t = _new(_cls)
+            t.env = self
+            t.delay = time - now
+            t._callbacks = None
+            t._value = value
+            t._triggered = True
+            heappush(queue, (time, next(counter), t))
+            return t
+
+        self.at = at
+
+        event_new = Event.__new__
+
+        def event(_new=event_new, _cls=Event) -> Event:
+            """Create an untriggered event bound to this environment."""
+            e = _new(_cls)
+            e.env = self
+            e._callbacks = None
+            e._value = None
+            e._exception = None
+            e._triggered = False
+            e.defused = False
+            return e
+
+        self.event = event
+
+        process_new = Process.__new__
+
+        def process(generator: Generator[Event, Any, Any],
+                    name: Optional[str] = None,
+                    _new=process_new, _cls=Process) -> Process:
+            """Register ``generator`` as a new simulation process."""
+            # Mirrors Process.__init__ slot for slot; keep the two in sync.
+            if type(generator) is not GeneratorType \
+                    and not hasattr(generator, "send"):
+                raise SimulationError(
+                    f"process body must be a generator, "
+                    f"got {type(generator).__name__}")
+            p = _new(_cls)
+            p.env = self
+            p._callbacks = None
+            p._exception = None
+            p._triggered = False
+            p.defused = False
+            p._name = name
+            p._generator = generator
+            p._waiting_on = None
+            resume = p._resume
+            p._resume_cb = resume
+            call = _Call(resume)
+            p._sleep_call = call
+            heappush(queue, (self._now, next(counter), call))
+            return p
+
+        self.process = process
+
+        def defer(delay: float, fn, _new=_call_new, _cls=_Call) -> None:
+            """Schedule a bare callback — no :class:`Event` is allocated.
+
+            ``fn`` is invoked with one throwaway argument (the internal heap
+            stub) after ``delay`` seconds, ordered exactly as an event
+            scheduled at the same moment would be.  Internal plumbing (e.g.
+            network message delivery) uses this instead of
+            ``timeout(delay).add_callback(fn)``; nothing can wait on a
+            deferred call.
+            """
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule callback in the past: {delay}")
+            c = _new(_cls)
+            c._callbacks = fn
+            c._exception = None
+            c._value = None
+            heappush(queue, (self._now + delay, next(counter), c))
+
+        self.defer = defer
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule ``event`` for processing ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past: {delay}")
+        heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def next_serial(self, category: str = "") -> int:
+        """A per-environment monotonic serial for ``category`` (1, 2, 3, ...).
+
+        Identifiers minted from process-global counters embed the process's
+        prior run history, so two runs of the same seeded experiment produce
+        different ID strings depending on what ran before them.  Simulation
+        components mint IDs from here instead: serials are scoped to one
+        environment, keeping every run's output identical whether it executes
+        first or fiftieth, serially or in a worker process.
+        """
+        value = self._serials.get(category, 0) + 1
+        self._serials[category] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        cbs = event._callbacks
+        event._callbacks = _PROCESSED
+        if cbs is not None:
+            if type(cbs) is list:
+                for callback in cbs:
+                    callback(event)
+            else:
+                cbs(event)
+        exc = event._exception
+        if exc is not None and not event.defused:
+            raise exc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a time (run
+        until the clock reaches it), or an :class:`Event` (run until it has
+        been processed, returning its value).
+
+        Raises the exception of any failed event processed along the way
+        whose failure nobody handled (see ``Event.defused``).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise SimulationError(
+                f"cannot run until {limit}: simulation time is already {self._now}")
+        # Hot loop: step() inlined, with the heap and heappop in locals, and
+        # the bound check dropped entirely in the run-to-exhaustion case.
+        queue = self._queue
+        pop = heapq.heappop
+        if limit == float("inf"):
+            while queue:
+                time, _, event = pop(queue)
+                self._now = time
+                cbs = event._callbacks
+                event._callbacks = _PROCESSED
+                if cbs is not None:
+                    if type(cbs) is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+                exc = event._exception
+                if exc is not None and not event.defused:
+                    raise exc
+            return None
+        while queue and queue[0][0] <= limit:
+            time, _, event = pop(queue)
+            self._now = time
+            cbs = event._callbacks
+            event._callbacks = _PROCESSED
+            if cbs is not None:
+                if type(cbs) is list:
+                    for callback in cbs:
+                        callback(event)
+                else:
+                    cbs(event)
+            exc = event._exception
+            if exc is not None and not event.defused:
+                raise exc
+        self._now = limit
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        queue = self._queue
+        pop = heapq.heappop
+        while until._callbacks is not _PROCESSED:  # noqa: SLF001 - fast path
+            if not queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event triggered")
+            time, _, event = pop(queue)
+            self._now = time
+            cbs = event._callbacks
+            event._callbacks = _PROCESSED
+            if cbs is not None:
+                if type(cbs) is list:
+                    for callback in cbs:
+                        callback(event)
+                else:
+                    cbs(event)
+            exc = event._exception
+            if exc is not None and not event.defused:
+                raise exc
+        return until.value
+
+    def run_all(self, processes: Iterable[Process]) -> list[Any]:
+        """Run until every process in ``processes`` has finished."""
+        results = []
+        for process in processes:
+            results.append(self.run(until=process))
+        return results

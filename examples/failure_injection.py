@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Inject host failures mid-run and watch the platform heal itself.
+
+A *chaos process* runs alongside the workload: every few simulated minutes
+it picks a random active GPU server, fails every kernel replica hosted
+there (§3.2.5 — each is recreated from persisted state on another host via
+the Global Scheduler's placement path), and decommissions the dead server.
+The auto-scaler then provisions replacements as demand requires.  Because
+replica recreation rides the same batched request path as kernel creation,
+this exercises the fused replica-start chains under churn.
+
+Everything observable arrives through the ``repro.api`` lifecycle
+:class:`~repro.api.HookBus` — placement decisions, scale events, and the
+discrete ``replica_failure`` platform events — with zero effect on the
+simulated timeline; the final consistency checks pin the hook counts
+against the metrics collector.
+
+Run with::
+
+    python examples/failure_injection.py
+"""
+
+from repro.api import (
+    PLACEMENT_DECISION,
+    PLATFORM_EVENT,
+    SCALE_IN,
+    SCALE_OUT,
+    Simulation,
+)
+from repro.core import ClusterConfig, PlatformConfig
+from repro.metrics.collector import EventKind
+from repro.workload import SessionTrace, TaskRecord, Trace
+
+FAILURE_INTERVAL_S = 600.0      # one host failure every 10 simulated minutes
+MIN_SURVIVING_HOSTS = 2
+
+
+def build_steady_trace(num_sessions: int = 8, hours: float = 2.0) -> Trace:
+    """Long-lived sessions that train periodically — churn fodder."""
+    sessions = []
+    code = ("for epoch in range(2):\n"
+            "    loss = train_epoch(model, loader, optimizer)\n"
+            "    history.append(loss)\n")
+    for index in range(num_sessions):
+        tasks = [TaskRecord(session_id=f"s{index}",
+                            submit_time=180.0 + index * 37.0 + step * 1200.0,
+                            duration=300.0, gpus=2, code=code, task_index=step)
+                 for step in range(4)]
+        sessions.append(SessionTrace(
+            session_id=f"s{index}", user_id=f"user-{index}",
+            start_time=index * 11.0, end_time=hours * 3600.0,
+            gpus_requested=2, tasks=tasks))
+    return Trace(name="failure-injection", sessions=sessions)
+
+
+def chaos_process(platform, log):
+    """Simulation process: periodically fail one random active host."""
+    env = platform.env
+    scheduler = platform.global_scheduler
+    rng = platform.rng.substream("chaos")
+    while True:
+        yield FAILURE_INTERVAL_S
+        cluster = platform.cluster
+        active = cluster.active_hosts
+        if len(active) <= MIN_SURVIVING_HOSTS:
+            continue
+        victim = rng.choice(sorted(active, key=lambda h: h.host_id))
+        local = cluster.scheduler_for(victim.host_id)
+        doomed = [(kernel, replica)
+                  for replica in list(local.replicas.values())
+                  for kernel in [scheduler.kernels.get(replica.kernel_id)]
+                  if kernel is not None]
+        log.append((env.now, victim.host_id, len(doomed)))
+        # Fail every hosted replica; each is recreated elsewhere from its
+        # persisted state through the normal placement machinery.
+        for kernel, replica in doomed:
+            yield from scheduler.handle_replica_failure(kernel, replica)
+        # The drained server goes away; the auto-scaler will backfill.
+        victim.decommission(env.now)
+        yield from local.decommission()
+        platform.provisioner.release(victim)
+        cluster.remove_host(victim.host_id)
+
+
+def main() -> None:
+    trace = build_steady_trace()
+    counts = {"placements": 0, "scale_out_hosts": 0, "scale_in_hosts": 0,
+              "replica_failures": 0}
+
+    def on_platform_event(time, kind, detail):
+        if kind == EventKind.REPLICA_FAILURE:
+            counts["replica_failures"] += 1
+
+    simulation = (
+        Simulation.from_trace(trace)
+        .with_policy("notebookos")
+        .with_seed(11)
+        .with_config(
+            cluster_config=ClusterConfig(initial_hosts=4, max_hosts=10),
+            platform_config=PlatformConfig(autoscaler_interval_s=120.0))
+        .on(PLACEMENT_DECISION,
+            lambda t, kernel_id, decision:
+            counts.__setitem__("placements", counts["placements"] + 1))
+        .on(SCALE_OUT,
+            lambda t, hosts, reason:
+            counts.__setitem__("scale_out_hosts",
+                               counts["scale_out_hosts"] + hosts))
+        .on(SCALE_IN,
+            lambda t, hosts:
+            counts.__setitem__("scale_in_hosts",
+                               counts["scale_in_hosts"] + hosts))
+        .on(PLATFORM_EVENT, on_platform_event))
+
+    failures = []
+    platform = simulation.build(trace)
+    platform.spawn_background(chaos_process(platform, failures))
+    result = platform.run_workload(trace)
+
+    collector = result.collector
+    print(f"Sessions: {len(trace)}, tasks completed: "
+          f"{len(collector.completed_tasks())} / {trace.total_task_count}")
+    print(f"\nInjected host failures ({len(failures)}):")
+    for time, host_id, replicas in failures:
+        print(f"  t={time / 60.0:6.1f} min  {host_id} failed "
+              f"({replicas} replica{'s' if replicas != 1 else ''} recreated)")
+    print(f"\nReplica failures handled : {counts['replica_failures']}")
+    print(f"Placement decisions      : {counts['placements']}")
+    print(f"Hosts scaled out         : {counts['scale_out_hosts']}")
+    print(f"Hosts scaled in          : {counts['scale_in_hosts']}")
+    print(f"Final cluster size       : {platform.cluster.active_host_count} hosts")
+
+    # The hook bus and the collector must tell the same story.
+    recorded = len(collector.events_of_kind(EventKind.REPLICA_FAILURE))
+    assert counts["replica_failures"] == recorded, \
+        f"hook saw {counts['replica_failures']} failures, collector {recorded}"
+    assert counts["replica_failures"] == sum(n for _, _, n in failures), \
+        "every doomed replica must surface as a replica_failure event"
+    assert len(collector.completed_tasks()) == trace.total_task_count, \
+        "the platform must finish the workload despite the injected failures"
+    print("\nConsistency checks passed: hook counts match the collector, and "
+          "every task completed despite the churn.")
+
+
+if __name__ == "__main__":
+    main()

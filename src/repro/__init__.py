@@ -24,7 +24,10 @@ Notebook Platform for Interactive Training with On-Demand GPUs*
   EXPERIMENTS.md; CLI: ``python -m repro.experiments``);
 * ``repro.api`` — the unified simulation façade: the :class:`Simulation`
   builder, typed :class:`RunSpec`, the pluggable policy registry
-  (``@register_policy``), and the lifecycle hook bus.
+  (``@register_policy``), and the lifecycle hook bus;
+* ``repro.profiling`` — hook-bus run profiling: per-phase wall time,
+  event-class counters, and engine dispatch statistics (CLI:
+  ``python -m repro.experiments profile``).
 
 Quickstart::
 

@@ -87,11 +87,13 @@ class Simulation:
         self._trace = trace
         self._policy_obj = None
         self._policy_name: Optional[str] = None if spec is None else spec.policy
-        self._policy_kwargs: Dict[str, object] = {}
+        self._policy_kwargs: Dict[str, object] = \
+            {} if spec is None else dict(spec.policy_kwargs)
         self._seed: Optional[int] = None if spec is None else spec.seed
         self._platform_config: Optional[PlatformConfig] = None
         self._cluster_config: Optional[ClusterConfig] = None
         self._hooks: Optional[HookBus] = None
+        self._profiler = None
         self._store = None
         #: The wired platform of the most recent ``run()`` / ``build()`` —
         #: ``None`` until then, and still ``None`` after a ``run()`` that was
@@ -129,8 +131,11 @@ class Simulation:
                     **policy_kwargs) -> "Simulation":
         """Select the scheduling policy, by registry name or as an instance.
 
-        A *name* keeps the run spec-backed (hashable, storable); passing an
-        instance — or any constructor kwargs — makes the run ad hoc.
+        A *name* keeps the run spec-backed (hashable, storable) — including
+        any constructor ``policy_kwargs``, which are recorded on the spec
+        (``RunSpec.policy_kwargs``) and folded into its content hash, so
+        tuned policy variants cache and sweep like any other spec.  Passing
+        an *instance* makes the run ad hoc.
         """
         if isinstance(policy, str):
             # Validate now, and canonicalize to the registered primary name
@@ -141,6 +146,7 @@ class Simulation:
             self._policy_kwargs = dict(policy_kwargs)
             if self._spec is not None:
                 self._spec.policy = registered.name
+                self._spec.policy_kwargs = dict(policy_kwargs)
         else:
             if policy_kwargs:
                 raise TypeError("policy kwargs are only valid with a policy "
@@ -153,6 +159,7 @@ class Simulation:
                 # declared name (the run is no longer storable either way).
                 self._spec.policy = getattr(policy, "name",
                                             type(policy).__name__)
+                self._spec.policy_kwargs = {}
         return self
 
     def with_seed(self, seed: int) -> "Simulation":
@@ -204,6 +211,21 @@ class Simulation:
         self._hooks.subscribe(topic, callback)
         return self
 
+    def with_profiler(self, profiler) -> "Simulation":
+        """Attach a :class:`repro.profiling.Profiler` to this run.
+
+        The profiler subscribes its counters to the run's hook bus
+        (created on first use) and this builder additionally measures the
+        ``trace_build`` and ``platform_build`` phases around :meth:`run`'s
+        setup work.  Profiled runs always execute (like any
+        hook-instrumented run) and stay bit-identical to bare ones.
+        """
+        if self._hooks is None:
+            self._hooks = HookBus()
+        profiler.attach(self._hooks)
+        self._profiler = profiler
+        return self
+
     def with_store(self, store) -> "Simulation":
         """Attach a :class:`~repro.experiments.store.ResultStore`.
 
@@ -228,9 +250,12 @@ class Simulation:
 
     @property
     def storable(self) -> bool:
-        """Whether this run is reproducible from its spec alone."""
+        """Whether this run is reproducible from its spec alone.
+
+        Policy constructor kwargs do not break storability: they live on
+        the spec (``policy_kwargs``) and participate in its content hash.
+        """
         return (self._spec is not None and self._policy_obj is None
-                and not self._policy_kwargs
                 and self._platform_config is None
                 and self._cluster_config is None)
 
@@ -310,8 +335,19 @@ class Simulation:
                 return cached
         self.cached = False
 
-        trace = self._resolve_trace()
-        platform = self.build(trace)
+        profiler = self._profiler
+        if profiler is not None:
+            # The profiler follows whichever of its simulations runs: a
+            # profiler shared across several builders re-attaches to this
+            # run's bus (idempotent when it never left).
+            profiler.attach(self._hooks)
+            with profiler.phase("trace_build"):
+                trace = self._resolve_trace()
+            with profiler.phase("platform_build"):
+                platform = self.build(trace)
+        else:
+            trace = self._resolve_trace()
+            platform = self.build(trace)
         result = platform.run_workload(trace, until=until)
         if consult_store:
             result_dict = result.to_dict()

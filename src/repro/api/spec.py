@@ -36,10 +36,17 @@ class RunSpec(ScenarioSpec):
     @classmethod
     def from_scenario(cls, scenario: str, policy: Optional[str] = None,
                       seed: Optional[int] = None,
+                      policy_kwargs: Optional[dict] = None,
                       **generator_overrides) -> "RunSpec":
-        """Bind a registered scenario's free parameters into a spec."""
+        """Bind a registered scenario's free parameters into a spec.
+
+        ``policy_kwargs`` are constructor knobs for the policy (a tuned
+        variant); they round-trip through JSON and the content hash like
+        every other spec field.
+        """
         bound = default_registry().get(scenario).instantiate(
-            policy=policy, seed=seed, **generator_overrides)
+            policy=policy, seed=seed, policy_kwargs=policy_kwargs,
+            **generator_overrides)
         return cls.from_dict(bound.to_dict())
 
     @classmethod

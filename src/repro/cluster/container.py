@@ -131,8 +131,17 @@ class ContainerRuntime:
         self.warm_starts = 0
         self.terminations = 0
 
-    def provision(self, resources: ResourceRequest, prewarmed: bool = False):
-        """Simulation process: provision a container and return it."""
+    def begin_provision(self, resources: ResourceRequest,
+                        prewarmed: bool = False) -> tuple[Container, float]:
+        """Synchronous first half of :meth:`provision`.
+
+        Creates and registers the container, draws the start latency from
+        this runtime's rng stream, and returns ``(container, wait)`` where
+        ``wait`` is the seconds until :meth:`finish_provision` may run.
+        Split out so the batched multi-replica start path can begin several
+        provisions in one pass and sleep through their waits with single
+        scheduled wake-ups.
+        """
         container = Container(host_id=self.host_id, resources=resources,
                               created_at=self.env.now, was_prewarmed=prewarmed)
         self.containers[container.container_id] = container
@@ -142,19 +151,32 @@ class ContainerRuntime:
         else:
             delay = self.latency_model.cold_start(self._rng)
             self.cold_starts += 1
-        yield delay + self.latency_model.registration_time
+        return container, delay + self.latency_model.registration_time
+
+    def finish_provision(self, container: Container) -> Container:
+        """Synchronous second half of :meth:`provision` (post-wait)."""
         if container.state == ContainerState.PROVISIONING:
             container.state = ContainerState.WARM
         container.started_at = self.env.now
         return container
 
-    def terminate(self, container: Container):
-        """Simulation process: terminate a container."""
-        yield self.latency_model.termination_time
+    def provision(self, resources: ResourceRequest, prewarmed: bool = False):
+        """Simulation process: provision a container and return it."""
+        container, wait = self.begin_provision(resources, prewarmed=prewarmed)
+        yield wait
+        return self.finish_provision(container)
+
+    def finish_terminate(self, container: Container) -> Container:
+        """Synchronous second half of :meth:`terminate` (post-wait)."""
         container.terminate(self.env.now)
         self.containers.pop(container.container_id, None)
         self.terminations += 1
         return container
+
+    def terminate(self, container: Container):
+        """Simulation process: terminate a container."""
+        yield self.latency_model.termination_time
+        return self.finish_terminate(container)
 
     @property
     def running_containers(self) -> list[Container]:

@@ -29,7 +29,12 @@ from repro.cluster.resources import ResourceRequest
 from repro.core.config import ClusterConfig, PlatformConfig
 from repro.core.distributed_kernel import DistributedKernel, KernelReplica, ReplicaState
 from repro.core.election import ExecutorElection
-from repro.core.local_scheduler import LocalScheduler
+from repro.core.local_scheduler import (
+    LocalScheduler,
+    start_kernel_replicas,
+    terminate_kernel_replicas,
+    uniform_processing_delay,
+)
 from repro.core.placement import LeastLoadedPlacement, PlacementPolicy
 from repro.metrics.collector import EventKind, MetricsCollector
 from repro.simulation.distributions import SeededRandom
@@ -246,29 +251,51 @@ class GlobalScheduler:
         kernel.synchronizer = StateSynchronizer(
             self.env, kernel_id, checkpoint,
             rng=self._rng.substream(f"sync:{kernel_id}"))
-        # Start the replicas on their hosts in parallel.
-        start_processes = []
-        for index, host in enumerate(decision.hosts[:replication]):
-            scheduler = self.cluster.scheduler_for(host.host_id)
-            start_processes.append(self.env.process(
-                scheduler.start_kernel_replica(kernel, index)))
-        if start_processes:
-            yield AllOf(self.env, start_processes)
-        for process in start_processes:
-            kernel.add_replica(process.value)
+        # Start the replicas on their hosts concurrently.  The fused chain
+        # drives every replica in one pass — one shared processing-delay
+        # sleep and one wake-up per provision completion — instead of one
+        # process + bootstrap per replica joined by an AllOf (the event
+        # order is identical; see local_scheduler.start_kernel_replicas).
+        placements = [(index, self.cluster.scheduler_for(host.host_id))
+                      for index, host in enumerate(decision.hosts[:replication])]
+        if placements:
+            if uniform_processing_delay(s for _, s in placements) is not None:
+                replicas = yield from start_kernel_replicas(
+                    self.env, kernel, placements)
+            else:  # hand-wired mixed-delay schedulers: per-replica processes
+                start_processes = [
+                    self.env.process(
+                        scheduler.start_kernel_replica(kernel, index))
+                    for index, scheduler in placements]
+                yield AllOf(self.env, start_processes)
+                replicas = [process.value for process in start_processes]
+            for replica in replicas:
+                kernel.add_replica(replica)
         self.kernels[kernel_id] = kernel
         self._publish_event(EventKind.KERNEL_CREATED,
                             f"{kernel_id} on {kernel.host_ids}")
         return kernel
 
     def shutdown_kernel(self, kernel: DistributedKernel):
-        """Simulation process: terminate every replica of a kernel."""
-        processes = []
-        for replica in list(kernel.active_replicas):
-            scheduler = self.cluster.scheduler_for(replica.host_id)
-            processes.append(self.env.process(scheduler.terminate_replica(replica)))
-        if processes:
-            yield AllOf(self.env, processes)
+        """Simulation process: terminate every replica of a kernel.
+
+        Replica teardowns are two constant sleeps around synchronous
+        bookkeeping, so the fused chain replaces the per-replica processes
+        + AllOf with two sleeps total (order-identical; see
+        local_scheduler.terminate_kernel_replicas).
+        """
+        pairs = [(self.cluster.scheduler_for(replica.host_id), replica)
+                 for replica in list(kernel.active_replicas)]
+        if pairs:
+            termination_times = {scheduler.runtime.latency_model.termination_time
+                                 for scheduler, _ in pairs}
+            if (len(termination_times) == 1 and
+                    uniform_processing_delay(s for s, _ in pairs) is not None):
+                yield from terminate_kernel_replicas(self.env, pairs)
+            else:  # hand-wired mixed-latency schedulers
+                processes = [self.env.process(scheduler.terminate_replica(replica))
+                             for scheduler, replica in pairs]
+                yield AllOf(self.env, processes)
         kernel.terminated_at = self.env.now
         self.kernels.pop(kernel.kernel_id, None)
         self._publish_event(EventKind.KERNEL_TERMINATED, kernel.kernel_id)

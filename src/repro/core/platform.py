@@ -152,6 +152,7 @@ class NotebookOSPlatform:
 
         started_wallclock = _wallclock.monotonic()
         ast_hits_before, ast_misses_before = ast_cache_stats()
+        dispatch_before = self.env.dispatch_stats()
         # (Re-)seat the collector first on the bus: idempotent for the normal
         # construct-then-run flow, and restores the subscription the previous
         # run's teardown removed if this platform is driven twice.
@@ -178,9 +179,15 @@ class NotebookOSPlatform:
                                       wall_clock_runtime=_wallclock.monotonic() - started_wallclock,
                                       breakdown=self.breakdown)
             ast_hits, ast_misses = ast_cache_stats()
+            dispatch_after = self.env.dispatch_stats()
             self.hooks.publish(RUN_END, self, result, {
                 "ast_cache_hits": ast_hits - ast_hits_before,
                 "ast_cache_misses": ast_misses - ast_misses_before,
+                # Engine dispatch counters for this run (see
+                # Environment.dispatch_stats); the repro.profiling
+                # subsystem folds these into its report.
+                "dispatch": {key: dispatch_after[key] - dispatch_before[key]
+                             for key in dispatch_after},
             })
             return result
         finally:
@@ -280,6 +287,9 @@ class NotebookOSPlatform:
             yield interval
 
 
+_RUN_EXPERIMENT_WARNED = False
+
+
 def run_experiment(trace: Trace, policy: Union[str, object] = "notebookos",
                    cluster_config: Optional[ClusterConfig] = None,
                    platform_config: Optional[PlatformConfig] = None,
@@ -298,9 +308,22 @@ def run_experiment(trace: Trace, policy: Union[str, object] = "notebookos",
     :func:`repro.api.register_policy`) or an already constructed policy
     object.  When no cluster configuration is supplied, a per-policy default
     is chosen (see :func:`repro.api.simulation.default_cluster_config`).
+
+    Emits ``DeprecationWarning`` exactly once per process — a long sweep
+    looping over this shim should nudge, not flood.
     """
+    import warnings
+
     from repro.api.registry import UnknownPolicyError
     from repro.api.simulation import Simulation
+
+    global _RUN_EXPERIMENT_WARNED
+    if not _RUN_EXPERIMENT_WARNED:
+        _RUN_EXPERIMENT_WARNED = True
+        warnings.warn(
+            "repro.run_experiment is deprecated; use repro.api.Simulation "
+            "(e.g. Simulation.from_trace(trace).with_policy(policy).run())",
+            DeprecationWarning, stacklevel=2)
 
     try:
         simulation = Simulation.from_trace(trace).with_policy(policy)

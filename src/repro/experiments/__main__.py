@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run <scenario> [--policy P] [--seed N]
     python -m repro.experiments sweep --policies reservation,batch,notebookos,lcp \
         --seeds 7,8,9 --workers 4
+    python -m repro.experiments profile <scenario> [--policy P] [--json OUT]
 
 ``run`` and ``sweep`` persist results to the on-disk store (default
 ``.repro_results/``, override with ``--store-dir`` or the
@@ -118,6 +119,32 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run one scenario with a :class:`repro.profiling.Profiler` attached."""
+    from pathlib import Path
+
+    from repro.api import Simulation
+    from repro.profiling import Profiler
+
+    scenario = default_registry().get(args.scenario)
+    spec = scenario.instantiate(policy=args.policy, seed=args.seed,
+                                num_sessions=args.sessions,
+                                duration_hours=args.hours)
+    profiler = Profiler()
+    result = Simulation.from_spec(spec).with_profiler(profiler).run()
+    report = profiler.last
+    print(report.format())
+    summary = result.summary()
+    print(f"\ntasks={summary['tasks_completed']}  "
+          f"interact_p50={_round(summary['interactivity_p50_s'])}s  "
+          f"tct_p50={_round(summary['tct_p50_s'])}s  "
+          f"migrations={summary['migrations']}")
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     generator_grid = {}
     if args.sessions:
@@ -168,6 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read or write the result store")
     add_store_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one scenario with the profiler attached and print "
+             "per-phase wall time + event-class counters")
+    p_profile.add_argument("scenario")
+    p_profile.add_argument("--policy", default=None)
+    p_profile.add_argument("--seed", type=int, default=None)
+    p_profile.add_argument("--sessions", type=int, default=None,
+                           help="override the scenario's session count")
+    p_profile.add_argument("--hours", type=float, default=None,
+                           help="override the scenario's duration (hours)")
+    p_profile.add_argument("--json", default=None,
+                           help="also write the report as JSON to this path")
+    p_profile.set_defaults(func=cmd_profile)
 
     p_sweep = sub.add_parser("sweep", help="run a policies x seeds grid")
     p_sweep.add_argument("--scenario", default="excerpt")

@@ -57,9 +57,13 @@ class ScenarioSpec:
     seed: int
     generator_kwargs: Dict[str, object] = field(default_factory=dict)
     config_preset: str = "default"
+    #: Constructor keyword arguments for the policy (registry knobs, e.g.
+    #: ``gpu_wait_poll_s`` for NotebookOS) — tuned policy variants stay
+    #: plain data: sweepable, storable, and part of the content hash.
+    policy_kwargs: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "scenario": self.scenario,
             "generator": self.generator,
             "policy": self.policy,
@@ -67,20 +71,34 @@ class ScenarioSpec:
             "generator_kwargs": dict(self.generator_kwargs),
             "config_preset": self.config_preset,
         }
+        if self.policy_kwargs:
+            # Only present when set: specs without tuned knobs keep the
+            # content hash (= result-store key) they had before the field
+            # existed.
+            data["policy_kwargs"] = dict(self.policy_kwargs)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
         return cls(scenario=data["scenario"], generator=data["generator"],
                    policy=data["policy"], seed=data["seed"],
                    generator_kwargs=dict(data["generator_kwargs"]),
-                   config_preset=data.get("config_preset", "default"))
+                   config_preset=data.get("config_preset", "default"),
+                   policy_kwargs=dict(data.get("policy_kwargs", {})))
 
     def spec_hash(self) -> str:
         return stable_hash(self.to_dict())
 
     @property
     def label(self) -> str:
-        return f"{self.scenario}/{self.policy}/seed{self.seed}"
+        base = f"{self.scenario}/{self.policy}/seed{self.seed}"
+        if self.policy_kwargs:
+            # Tuned variants must be tellable apart in sweep progress
+            # output — the hash differs, but humans read labels.
+            knobs = ",".join(f"{key}={value}" for key, value
+                             in sorted(self.policy_kwargs.items()))
+            return f"{base}[{knobs}]"
+        return base
 
 
 def build_trace(spec: ScenarioSpec) -> Trace:
@@ -260,12 +278,15 @@ class Scenario:
 
     def instantiate(self, policy: Optional[str] = None,
                     seed: Optional[int] = None,
+                    policy_kwargs: Optional[Dict[str, object]] = None,
                     **generator_overrides) -> ScenarioSpec:
         """Bind the free parameters and return a runnable spec.
 
         ``generator_overrides`` update the scenario's generator kwargs
         (e.g. ``num_sessions=30``); ``None`` values are ignored so CLI
         plumbing can pass optional flags straight through.
+        ``policy_kwargs`` are constructor knobs for the policy (tuned
+        variants; part of the spec hash).
         """
         kwargs = dict(self.generator_kwargs)
         kwargs.update({key: value for key, value in generator_overrides.items()
@@ -274,7 +295,8 @@ class Scenario:
             scenario=self.name, generator=self.generator,
             policy=policy or self.default_policy,
             seed=self.default_seed if seed is None else seed,
-            generator_kwargs=kwargs, config_preset=self.config_preset)
+            generator_kwargs=kwargs, config_preset=self.config_preset,
+            policy_kwargs=dict(policy_kwargs or {}))
 
 
 class ScenarioRegistry:

@@ -1,10 +1,11 @@
 """Parameter-grid expansion: one scenario x policies x seeds x knobs.
 
 A :class:`SweepGrid` describes the experiment matrix the paper's evaluation
-runs (policies x seeds, optionally x generator knobs such as session count)
-and expands it into concrete :class:`ScenarioSpec` instances in a stable,
-deterministic order: policies vary slowest, then seeds, then generator-knob
-combinations in sorted key order.
+runs (policies x seeds, optionally x generator knobs such as session count,
+optionally x policy-constructor knobs such as poll intervals) and expands it
+into concrete :class:`ScenarioSpec` instances in a stable, deterministic
+order: policies vary slowest, then seeds, then generator-knob combinations,
+then policy-knob combinations, each in sorted key order.
 """
 
 from __future__ import annotations
@@ -28,10 +29,18 @@ class SweepGrid:
     policies: Sequence[str] = ("notebookos",)
     seeds: Sequence[int] = (None,)  # None = the scenario's default seed
     generator_grid: Dict[str, Sequence[object]] = field(default_factory=dict)
+    #: Constructor knobs applied to every policy in the grid (a *tuned*
+    #: variant swept across seeds/knobs), and an optional extra grid axis:
+    #: each key maps to a sequence of candidate values, expanded like
+    #: ``generator_grid`` (sorted key order, fastest-varying last).
+    policy_kwargs: Dict[str, object] = field(default_factory=dict)
+    policy_grid: Dict[str, Sequence[object]] = field(default_factory=dict)
 
     def size(self) -> int:
         total = len(self.policies) * len(self.seeds)
         for values in self.generator_grid.values():
+            total *= len(values)
+        for values in self.policy_grid.values():
             total *= len(values)
         return total
 
@@ -42,10 +51,19 @@ class SweepGrid:
         axes = sorted(self.generator_grid.items())
         keys = [key for key, _ in axes]
         combos = list(itertools.product(*(values for _, values in axes)))
+        policy_axes = sorted(self.policy_grid.items())
+        policy_keys = [key for key, _ in policy_axes]
+        policy_combos = list(itertools.product(
+            *(values for _, values in policy_axes)))
         specs: List[ScenarioSpec] = []
         for policy in self.policies:
             for seed in self.seeds:
                 for combo in combos:
-                    specs.append(scenario.instantiate(
-                        policy=policy, seed=seed, **dict(zip(keys, combo))))
+                    for policy_combo in policy_combos:
+                        policy_kwargs = dict(self.policy_kwargs)
+                        policy_kwargs.update(zip(policy_keys, policy_combo))
+                        specs.append(scenario.instantiate(
+                            policy=policy, seed=seed,
+                            policy_kwargs=policy_kwargs,
+                            **dict(zip(keys, combo))))
         return specs

@@ -25,6 +25,8 @@ way; nothing here is special-cased (see EXPERIMENTS.md, "Extending repro").
 for source compatibility; use ``repro.api.default_policy_registry()``.
 """
 
+import warnings
+
 from repro.api.registry import default_policy_registry
 from repro.policies.base import SchedulingPolicy
 from repro.policies.notebookos import NotebookOSPolicy
@@ -46,15 +48,30 @@ POLICY_REGISTRY = {
 }
 
 
+_MAKE_POLICY_WARNED = False
+
+
 def make_policy(name: str, **kwargs) -> SchedulingPolicy:
     """Deprecated shim: instantiate a policy by its registry name.
 
     Delegates to the :mod:`repro.api` policy registry (so it also resolves
     policies registered after import, unlike the frozen ``POLICY_REGISTRY``
     dict).  Unknown names raise ``ValueError`` exactly as before.
+
+    Emits ``DeprecationWarning`` exactly once per process — a long sweep
+    calling the shim thousands of times should nudge, not flood (warning
+    dedup by location does not help callers that loop from many sites, so
+    the shim tracks it itself).
     """
     from repro.api.registry import UnknownPolicyError
 
+    global _MAKE_POLICY_WARNED
+    if not _MAKE_POLICY_WARNED:
+        _MAKE_POLICY_WARNED = True
+        warnings.warn(
+            "repro.policies.make_policy is deprecated; use "
+            "repro.api.default_policy_registry().create(name, **kwargs)",
+            DeprecationWarning, stacklevel=2)
     try:
         return default_policy_registry().create(name, **kwargs)
     except UnknownPolicyError as error:

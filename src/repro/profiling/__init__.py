@@ -1,0 +1,27 @@
+"""Run profiling: per-phase wall time and event-class counters.
+
+The profiler is pure instrumentation layered on the lifecycle
+:class:`~repro.api.hooks.HookBus` — it subscribes counting callbacks, so a
+run without a profiler attached pays nothing ("zero overhead when
+disabled"), and an instrumented run stays bit-identical to a bare one
+(hook callbacks add no simulation events by construction).
+
+    from repro.api import Simulation
+    from repro.profiling import Profiler
+
+    profiler = Profiler()
+    result = (Simulation.from_scenario("smoke")
+              .with_profiler(profiler)
+              .run())
+    print(profiler.last.format())
+
+or from the command line::
+
+    python -m repro.experiments profile cluster_scale --policy lcp
+
+See EXPERIMENTS.md ("Profiling runs") for the report fields.
+"""
+
+from repro.profiling.profiler import ProfileReport, Profiler
+
+__all__ = ["ProfileReport", "Profiler"]

@@ -13,14 +13,14 @@ is deliberately allocation-light:
 * the callback list is lazy: most events have exactly one waiter, which is
   stored directly in the ``_callbacks`` slot; a list is only materialized
   when a second callback registers;
-* ``succeed``/``fail``/``Timeout`` push ``(time, serial, event)`` entries
-  onto the environment's heap directly, so the only per-schedule allocation
-  is the heap tuple itself.
+* ``succeed``/``fail`` trigger *at the current time*, so they append the
+  event straight to the environment's same-time FIFO lane — no serial, no
+  tuple, no heap operation; ``Timeout`` routes through the calendar queue
+  (``env._push``), which is a plain list append for most delays.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -129,8 +129,7 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._triggered = True
         self._value = value
-        env = self.env
-        heappush(env._queue, (env._now, next(env._counter), self))
+        self.env._fifo.append(self)  # triggers at the current time
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -145,8 +144,7 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._exception = exception
-        env = self.env
-        heappush(env._queue, (env._now, next(env._counter), self))
+        self.env._fifo.append(self)  # triggers at the current time
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -206,7 +204,12 @@ class Timeout(Event):
         self._callbacks = None
         self._value = value
         self._triggered = True
-        heappush(env._queue, (env._now + delay, next(env._counter), self))
+        now = env._now
+        time = now + delay
+        if time == now:
+            env._fifo.append(self)
+        else:
+            env._push(time, self)
 
 
 class ConditionEvent(Event):

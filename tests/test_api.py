@@ -365,7 +365,11 @@ def test_simulation_policy_instance_and_kwargs():
     assert _canonical_collector(by_name) == _canonical_collector(by_instance)
     tweaked = (Simulation.from_spec(spec)
                .with_policy("reservation", state_persist_s=5.0))
-    assert not tweaked.storable
+    # Tuned variants stay spec-backed: the kwargs live on the spec and give
+    # it a distinct content hash (distinct store key).
+    assert tweaked.storable
+    assert tweaked.spec.policy_kwargs == {"state_persist_s": 5.0}
+    assert tweaked.spec.spec_hash() != spec.spec_hash()
     assert _canonical_collector(tweaked.run()) != _canonical_collector(by_name)
     # An instance keeps the spec's provenance honest via its declared name.
     instance_sim = Simulation.from_spec(spec).with_policy(ReservationPolicy())
@@ -439,3 +443,47 @@ def test_simulation_builder_validation():
                            duration_hours=0.5).generate()
     with pytest.raises(ValueError, match="spec-backed"):
         Simulation.from_trace(trace).with_config(preset="cluster_scale")
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims: one DeprecationWarning per process, not per call.
+# ----------------------------------------------------------------------
+def test_make_policy_warns_exactly_once_per_process(monkeypatch):
+    import warnings
+
+    import repro.policies as policies
+
+    monkeypatch.setattr(policies, "_MAKE_POLICY_WARNED", False)
+    with warnings.catch_warnings(record=True) as caught:
+        # "always" would surface one warning per call if the shim relied on
+        # the default once-per-location dedup; the shim must dedup itself.
+        warnings.simplefilter("always")
+        for name in ("batch", "lcp", "reservation", "notebookos"):
+            policies.make_policy(name)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "make_policy" in str(deprecations[0].message)
+    assert "default_policy_registry" in str(deprecations[0].message)
+
+
+def test_run_experiment_warns_exactly_once_per_process(monkeypatch):
+    import warnings
+
+    import repro.core.platform as platform_module
+    from repro.workload import SessionTrace, TaskRecord, Trace
+
+    trace = Trace(name="tiny", sessions=[SessionTrace(
+        session_id="s0", user_id="u0", start_time=0.0, end_time=60.0,
+        gpus_requested=0,
+        tasks=[TaskRecord(session_id="s0", submit_time=1.0, duration=5.0,
+                          gpus=0, code="", task_index=0)])])
+    monkeypatch.setattr(platform_module, "_RUN_EXPERIMENT_WARNED", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        platform_module.run_experiment(trace, policy="reservation")
+        platform_module.run_experiment(trace, policy="reservation")
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "Simulation" in str(deprecations[0].message)
