@@ -94,6 +94,9 @@ class Simulation:
         self._cluster_config: Optional[ClusterConfig] = None
         self._hooks: Optional[HookBus] = None
         self._profiler = None
+        self._telemetry = None
+        self._sketch_mode = False
+        self._sketch_compression = 300
         self._store = None
         #: The wired platform of the most recent ``run()`` / ``build()`` —
         #: ``None`` until then, and still ``None`` after a ``run()`` that was
@@ -226,6 +229,48 @@ class Simulation:
         self._profiler = profiler
         return self
 
+    def with_telemetry(self, telemetry=None, **kwargs) -> "Simulation":
+        """Attach a :class:`repro.telemetry.Telemetry` to this run.
+
+        Pass an existing attachment (to share streams/reports across
+        several builders) or keyword arguments (``window_s``, ``quantiles``,
+        ``spans``, ...) to construct one here; it is available afterwards as
+        :attr:`telemetry`.  Telemetry rides the hook bus like the profiler:
+        the run stays bit-identical to a bare one and instrumented runs
+        always execute rather than being served from a store.
+        """
+        from repro.telemetry import Telemetry
+
+        if telemetry is None:
+            telemetry = Telemetry(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a Telemetry instance or "
+                            "constructor kwargs, not both")
+        if self._hooks is None:
+            self._hooks = HookBus()
+        telemetry.attach(self._hooks)
+        self._telemetry = telemetry
+        return self
+
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.telemetry.Telemetry`, if any."""
+        return self._telemetry
+
+    def with_sketch_metrics(self, compression: int = 300) -> "Simulation":
+        """Run the metrics collector in fixed-memory sketch mode.
+
+        Interactivity/TCT fold into quantile sketches instead of the
+        unbounded per-task list (see ``MetricsCollector``); applied as a
+        config override on a copy of the resolved platform config, so
+        presets and explicit configs compose.  Sketch-mode results
+        serialize differently from exact ones, so the run is not served
+        from (or saved to) a result store.
+        """
+        self._sketch_mode = True
+        self._sketch_compression = int(compression)
+        return self
+
     def with_store(self, store) -> "Simulation":
         """Attach a :class:`~repro.experiments.store.ResultStore`.
 
@@ -257,7 +302,8 @@ class Simulation:
         """
         return (self._spec is not None and self._policy_obj is None
                 and self._platform_config is None
-                and self._cluster_config is None)
+                and self._cluster_config is None
+                and not self._sketch_mode)
 
     # ------------------------------------------------------------------
     # Execution.
@@ -306,6 +352,11 @@ class Simulation:
             # other runs) is never mutated.
             platform_config = copy.copy(platform_config)
             platform_config.seed = self._seed
+        if self._sketch_mode:
+            # Same never-mutate-the-caller's-config rule as the seed.
+            platform_config = copy.copy(platform_config)
+            platform_config.metrics_sketch_mode = True
+            platform_config.metrics_sketch_compression = self._sketch_compression
         if cluster_config is None:
             cluster_config = default_cluster_config(policy, trace)
 
@@ -335,6 +386,11 @@ class Simulation:
                 return cached
         self.cached = False
 
+        if self._telemetry is not None:
+            # Like the profiler below: a telemetry object shared across
+            # builders follows whichever simulation runs (idempotent when
+            # it never left this bus).
+            self._telemetry.attach(self._hooks)
         profiler = self._profiler
         if profiler is not None:
             # The profiler follows whichever of its simulations runs: a

@@ -78,8 +78,12 @@ class PlatformConfig:
     migration_retry_interval_s: float = 15.0
     migration_max_retries: int = 20
 
-    # Metrics.
+    # Metrics.  Sketch mode trades per-task records for fixed-memory
+    # percentile sketches (see MetricsCollector) — opt-in, because the
+    # golden digests pin the exact-mode serialization.
     metrics_sample_interval_s: float = 60.0
+    metrics_sketch_mode: bool = False
+    metrics_sketch_compression: int = 300
 
     # Idle reclamation interval used by the GPU-hours-saved analysis (Fig. 13).
     idle_reclamation_interval_s: float = 3600.0
@@ -99,4 +103,6 @@ class PlatformConfig:
             raise ValueError("kernel_fidelity must be 'model' or 'raft'")
         if self.metrics_sample_interval_s <= 0:
             raise ValueError("metrics_sample_interval_s must be positive")
+        if self.metrics_sketch_compression < 20:
+            raise ValueError("metrics_sketch_compression must be >= 20")
         self.prewarm_policy.validate()

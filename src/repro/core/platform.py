@@ -50,6 +50,7 @@ from repro.jupyter.server import JupyterServer
 from repro.jupyter.session import NotebookSession
 from repro.metrics.collector import EventKind, ExperimentResult, MetricsCollector
 from repro.metrics.latency_breakdown import LatencyBreakdown
+from repro.profiling.memory import memory_stats
 from repro.simulation.distributions import SeededRandom
 from repro.simulation.engine import Environment
 from repro.simulation.events import AllOf
@@ -73,15 +74,16 @@ class NotebookOSPlatform:
         self.rng = SeededRandom(self.config.seed)
         self.network = Network(self.env, rng=self.rng.substream("network"))
         self.metrics = MetricsCollector(
-            sample_interval=self.config.metrics_sample_interval_s)
+            sample_interval=self.config.metrics_sample_interval_s,
+            sketch_mode=self.config.metrics_sketch_mode,
+            sketch_compression=self.config.metrics_sketch_compression)
         # The metrics collector is the hook bus's FIRST subscriber: every
         # discrete platform event reaches it through PLATFORM_EVENT before
         # any user hook runs, so instrumentation sees an up-to-date
         # collector.  Callbacks are synchronous — the bus adds no events to
         # the simulation timeline (golden-pinned).
         self.hooks = hooks if hooks is not None else HookBus()
-        self.hooks.subscribe(PLATFORM_EVENT, self.metrics.record_event,
-                             first=True)
+        self._seat_metrics()
         self.breakdown = LatencyBreakdown(policy=getattr(policy, "name", "unknown"))
         self.gpu_binding = GpuBindingModel()
 
@@ -126,6 +128,18 @@ class NotebookOSPlatform:
         self.active_training_count = 0
         self._background_processes: List = []
 
+    def _seat_metrics(self) -> None:
+        """Seat the collector first on the bus (idempotent via detach)."""
+        self.hooks.subscribe(PLATFORM_EVENT, self.metrics.record_event,
+                             first=True)
+        if self.metrics.sketch_mode:
+            # Sketch-mode collectors keep no task list; they fold each
+            # finished task into their sketches from the completion hook,
+            # seated first like record_event.
+            self.hooks.subscribe(TASK_COMPLETE,
+                                 self.metrics.absorb_completed_task,
+                                 first=True)
+
     def detach_metrics(self) -> None:
         """Stop routing bus events into this platform's collector.
 
@@ -135,6 +149,9 @@ class NotebookOSPlatform:
         events.  Idempotent.
         """
         self.hooks.unsubscribe(PLATFORM_EVENT, self.metrics.record_event)
+        if self.metrics.sketch_mode:
+            self.hooks.unsubscribe(TASK_COMPLETE,
+                                   self.metrics.absorb_completed_task)
 
     # ------------------------------------------------------------------
     # Helpers used by policies.
@@ -157,8 +174,7 @@ class NotebookOSPlatform:
         # construct-then-run flow, and restores the subscription the previous
         # run's teardown removed if this platform is driven twice.
         self.detach_metrics()
-        self.hooks.subscribe(PLATFORM_EVENT, self.metrics.record_event,
-                             first=True)
+        self._seat_metrics()
         try:
             self.hooks.publish(RUN_START, self, trace)
             horizon = until if until is not None else trace.duration
@@ -188,6 +204,9 @@ class NotebookOSPlatform:
                 # subsystem folds these into its report.
                 "dispatch": {key: dispatch_after[key] - dispatch_before[key]
                              for key in dispatch_after},
+                # Peak process memory (lifetime high-water mark, not
+                # run-scoped — getrusage cannot be reset).
+                "memory": memory_stats(),
             })
             return result
         finally:

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments sweep --policies reservation,batch,notebookos,lcp \
         --seeds 7,8,9 --workers 4
     python -m repro.experiments profile <scenario> [--policy P] [--json OUT]
+    python -m repro.experiments telemetry <scenario> [--stream interactivity]
+    python -m repro.experiments trace <scenario> --out run.trace.json
 
 ``run`` and ``sweep`` persist results to the on-disk store (default
 ``.repro_results/``, override with ``--store-dir`` or the
@@ -145,6 +147,65 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Run one scenario with streaming telemetry attached."""
+    from pathlib import Path
+
+    from repro.api import Simulation
+    from repro.telemetry import Telemetry
+
+    scenario = default_registry().get(args.scenario)
+    spec = scenario.instantiate(policy=args.policy, seed=args.seed,
+                                num_sessions=args.sessions,
+                                duration_hours=args.hours)
+    telemetry = Telemetry(window_s=args.window, spans=args.spans)
+    sim = Simulation.from_spec(spec).with_telemetry(telemetry)
+    if args.sketch:
+        sim.with_sketch_metrics()
+    sim.run()
+    report = telemetry.last
+    if args.stream is not None and args.stream not in report.streams:
+        raise KeyError(f"unknown stream {args.stream!r} "
+                       f"(known: {', '.join(sorted(report.streams))})")
+    print(report.format(stream=args.stream))
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    if args.store_artifact:
+        store = ResultStore(args.store_dir)
+        path = store.save_artifact(spec, "telemetry", report.to_dict())
+        print(f"stored telemetry artifact at {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one scenario recording trace spans and export them as JSON."""
+    import json
+    from pathlib import Path
+
+    from repro.api import Simulation
+    from repro.telemetry import Telemetry
+
+    scenario = default_registry().get(args.scenario)
+    spec = scenario.instantiate(policy=args.policy, seed=args.seed,
+                                num_sessions=args.sessions,
+                                duration_hours=args.hours)
+    telemetry = Telemetry(window_s=args.window, spans=True)
+    Simulation.from_spec(spec).with_telemetry(telemetry).run()
+    report = telemetry.last
+    out = Path(args.out if args.out else f"{args.scenario}.trace.json")
+    document = report.timeline() if args.timeline else report.chrome_trace()
+    out.write_text(json.dumps(document) + "\n")
+    counts = ", ".join(f"{category}={count}" for category, count
+                       in sorted(report.span_counts.items()))
+    print(f"trace: {report.trace_name} / {report.policy} — "
+          f"{len(report.spans)} spans ({counts})")
+    hint = "" if args.timeline else \
+        "  (load in https://ui.perfetto.dev or chrome://tracing)"
+    print(f"wrote {out}{hint}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     generator_grid = {}
     if args.sessions:
@@ -210,6 +271,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--json", default=None,
                            help="also write the report as JSON to this path")
     p_profile.set_defaults(func=cmd_profile)
+
+    p_tele = sub.add_parser(
+        "telemetry",
+        help="run one scenario with streaming windowed metrics attached "
+             "and print per-stream rates and percentile sketches")
+    p_tele.add_argument("scenario")
+    p_tele.add_argument("--policy", default=None)
+    p_tele.add_argument("--seed", type=int, default=None)
+    p_tele.add_argument("--sessions", type=int, default=None,
+                        help="override the scenario's session count")
+    p_tele.add_argument("--hours", type=float, default=None,
+                        help="override the scenario's duration (hours)")
+    p_tele.add_argument("--window", type=float, default=300.0,
+                        help="tumbling window length in simulated seconds")
+    p_tele.add_argument("--stream", default=None,
+                        help="also print the per-window table of this stream "
+                             "(e.g. interactivity)")
+    p_tele.add_argument("--spans", action="store_true",
+                        help="record lifecycle trace spans too")
+    p_tele.add_argument("--sketch", action="store_true",
+                        help="run the metrics collector in fixed-memory "
+                             "sketch mode")
+    p_tele.add_argument("--json", default=None,
+                        help="also write the telemetry report as JSON")
+    p_tele.add_argument("--store-artifact", action="store_true",
+                        help="persist the report as a result-store artifact")
+    add_store_args(p_tele)
+    p_tele.set_defaults(func=cmd_telemetry)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one scenario recording lifecycle spans and write a "
+             "Chrome trace_event file (Perfetto-loadable)")
+    p_trace.add_argument("scenario")
+    p_trace.add_argument("--policy", default=None)
+    p_trace.add_argument("--seed", type=int, default=None)
+    p_trace.add_argument("--sessions", type=int, default=None,
+                         help="override the scenario's session count")
+    p_trace.add_argument("--hours", type=float, default=None,
+                         help="override the scenario's duration (hours)")
+    p_trace.add_argument("--window", type=float, default=300.0,
+                         help="tumbling window length in simulated seconds")
+    p_trace.add_argument("--out", default=None,
+                         help="output path (default <scenario>.trace.json)")
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="write the plain JSON span timeline instead "
+                              "of Chrome trace_event format")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_sweep = sub.add_parser("sweep", help="run a policies x seeds grid")
     p_sweep.add_argument("--scenario", default="excerpt")

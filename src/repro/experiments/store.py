@@ -108,6 +108,68 @@ class ResultStore:
                 yield ScenarioSpec.from_dict(payload["spec"]), path
 
     # ------------------------------------------------------------------
+    # Artifacts (sidecar documents keyed by the same spec hash).
+    # ------------------------------------------------------------------
+    def artifact_path(self, spec: ScenarioSpec, kind: str) -> Path:
+        """Where ``kind`` (e.g. ``"telemetry"``) lives for ``spec``.
+
+        Artifacts sit next to the result entry as
+        ``<policy>-seed<seed>-<hash>.<kind>.json``; their envelope has no
+        ``result`` key, so :meth:`entries` and result loads skip them.
+        """
+        result_path = self.path_for(spec)
+        return result_path.with_name(f"{result_path.stem}.{kind}.json")
+
+    def save_artifact(self, spec: ScenarioSpec, kind: str,
+                      artifact: Dict[str, object]) -> Path:
+        """Atomically persist an auxiliary document (telemetry report,
+        trace export, ...) alongside the spec's result entry."""
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "repro_version": __version__,
+            "spec_hash": spec.spec_hash(),
+            "spec": spec.to_dict(),
+            "kind": kind,
+            "artifact": artifact,
+        }
+        path = self.artifact_path(spec, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_artifact(self, spec: ScenarioSpec,
+                      kind: str) -> Optional[Dict[str, object]]:
+        """The stored artifact document for ``(spec, kind)``, or ``None``."""
+        path = self.artifact_path(spec, kind)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            return None
+        if payload.get("repro_version") != __version__:
+            return None
+        if payload.get("spec_hash") != spec.spec_hash():
+            return None
+        if payload.get("kind") != kind or "artifact" not in payload:
+            return None
+        return payload["artifact"]
+
+    # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
     def _read_payload(self, spec: ScenarioSpec) -> Optional[Dict[str, object]]:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from repro.analysis.cdf import CDF
 from repro.analysis.timeline import Timeline
 from repro.metrics.latency_breakdown import LatencyBreakdown, StepLatencies
+from repro.telemetry.sketch import QuantileSketch
 
 
 class EventKind(enum.Enum):
@@ -118,12 +119,40 @@ class TaskMetrics:
 
 
 class MetricsCollector:
-    """Accumulates every measurement from one experiment run."""
+    """Accumulates every measurement from one experiment run.
 
-    def __init__(self, sample_interval: float = 60.0) -> None:
+    Two storage modes:
+
+    * **exact** (default) — every :class:`TaskMetrics` record is retained in
+      ``tasks`` and percentiles are computed from full CDFs.  This is what
+      the golden digests pin.
+    * **sketch** (``sketch_mode=True``, see
+      ``PlatformConfig.metrics_sketch_mode``) — interactivity and TCT fold
+      into fixed-memory :class:`~repro.telemetry.sketch.QuantileSketch`\\ s
+      instead of the unbounded task list; ``tasks`` stays empty and
+      per-task records are dropped once :meth:`absorb_completed_task` (the
+      platform's ``TASK_COMPLETE`` subscriber) has consumed them.  Summary
+      percentiles come from the sketches.  Caveats: per-task reports and
+      CDF plots are unavailable, and tasks still in flight at run end are
+      not counted.
+    """
+
+    def __init__(self, sample_interval: float = 60.0,
+                 sketch_mode: bool = False,
+                 sketch_compression: int = 300) -> None:
         self.sample_interval = sample_interval
+        self.sketch_mode = bool(sketch_mode)
+        self.sketch_compression = int(sketch_compression)
         self.tasks: List[TaskMetrics] = []
         self.events: List[PlatformEvent] = []
+        self._events_by_kind: Dict[EventKind, List[PlatformEvent]] = {}
+        self.sketch_task_count = 0
+        self.sketch_completed_tasks = 0
+        self.interactivity_sketch: Optional[QuantileSketch] = None
+        self.tct_sketch: Optional[QuantileSketch] = None
+        if self.sketch_mode:
+            self.interactivity_sketch = QuantileSketch(sketch_compression)
+            self.tct_sketch = QuantileSketch(sketch_compression)
         self.provisioned_gpus = Timeline("provisioned_gpus")
         self.committed_gpus = Timeline("committed_gpus")
         self.active_sessions = Timeline("active_sessions")
@@ -146,11 +175,35 @@ class MetricsCollector:
         task = TaskMetrics(session_id=session_id, kernel_id=kernel_id,
                            submitted_at=submitted_at, gpus=gpus,
                            is_gpu_task=is_gpu_task)
-        self.tasks.append(task)
+        if self.sketch_mode:
+            # Bounded memory: the record lives only for the task's lifetime
+            # (the session process holds it); absorb_completed_task folds it
+            # into the sketches when the platform publishes TASK_COMPLETE.
+            self.sketch_task_count += 1
+        else:
+            self.tasks.append(task)
         return task
 
+    def absorb_completed_task(self, time: float, session: object, task: object,
+                              metrics: TaskMetrics) -> None:
+        """Fold one finished task into the sketches (sketch mode only).
+
+        Signature matches the ``TASK_COMPLETE`` hook payload; the platform
+        subscribes this callback (first, like ``record_event``) when the
+        collector runs in sketch mode.
+        """
+        self.sketch_completed_tasks += 1
+        interactivity = metrics.interactivity_delay
+        if interactivity is not None:
+            self.interactivity_sketch.add(interactivity)
+        tct = metrics.task_completion_time
+        if tct is not None:
+            self.tct_sketch.add(tct)
+
     def record_event(self, time: float, kind: EventKind, detail: str = "") -> None:
-        self.events.append(PlatformEvent(time=time, kind=kind, detail=detail))
+        event = PlatformEvent(time=time, kind=kind, detail=detail)
+        self.events.append(event)
+        self._events_by_kind.setdefault(kind, []).append(event)
 
     def sample_cluster(self, time: float, provisioned_gpus: int, committed_gpus: int,
                        active_sessions: int, active_trainings: int,
@@ -213,7 +266,29 @@ class MetricsCollector:
         return CDF.from_values(t.task_completion_time for t in self.completed_tasks())
 
     def events_of_kind(self, kind: EventKind) -> List[PlatformEvent]:
-        return [e for e in self.events if e.kind == kind]
+        # Served from the per-kind index (kept by record_event) rather than
+        # a linear scan of every event — hot in report assembly on
+        # mega_scale-sized runs.
+        return list(self._events_by_kind.get(kind, ()))
+
+    def completed_task_count(self) -> int:
+        if self.sketch_mode:
+            return self.sketch_completed_tasks
+        return len(self.completed_tasks())
+
+    def interactivity_percentile(self, q: float) -> Optional[float]:
+        """Interactivity percentile from whichever store this mode keeps."""
+        if self.sketch_mode:
+            return self.interactivity_sketch.quantile(q)
+        cdf = self.interactivity_cdf()
+        return None if cdf.is_empty else cdf.percentile(q)
+
+    def tct_percentile(self, q: float) -> Optional[float]:
+        """TCT percentile from whichever store this mode keeps."""
+        if self.sketch_mode:
+            return self.tct_sketch.quantile(q)
+        cdf = self.tct_cdf()
+        return None if cdf.is_empty else cdf.percentile(q)
 
     def provisioned_gpu_hours(self) -> float:
         return self.provisioned_gpus.integral() / 3600.0
@@ -239,7 +314,7 @@ class MetricsCollector:
                        "provisioned_hosts")
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "sample_interval": self.sample_interval,
             "tasks": [task.to_dict() for task in self.tasks],
             "events": [[e.time, e.kind.value, e.detail] for e in self.events],
@@ -253,13 +328,35 @@ class MetricsCollector:
             "same_executor_count": self.same_executor_count,
             "executor_decisions": self.executor_decisions,
         }
+        # Sketch-mode keys appear ONLY when the mode is on, so exact-mode
+        # serializations (what the golden digests pin) stay byte-identical.
+        if self.sketch_mode:
+            data["sketch_mode"] = True
+            data["sketches"] = {
+                "compression": self.sketch_compression,
+                "task_count": self.sketch_task_count,
+                "completed_tasks": self.sketch_completed_tasks,
+                "interactivity": self.interactivity_sketch.to_dict(),
+                "tct": self.tct_sketch.to_dict(),
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MetricsCollector":
-        collector = cls(sample_interval=data["sample_interval"])
+        sketches = data.get("sketches")
+        collector = cls(
+            sample_interval=data["sample_interval"],
+            sketch_mode=bool(data.get("sketch_mode", False)),
+            sketch_compression=sketches["compression"] if sketches else 300)
         collector.tasks = [TaskMetrics.from_dict(t) for t in data["tasks"]]
-        collector.events = [PlatformEvent(time=t, kind=EventKind(kind), detail=detail)
-                            for t, kind, detail in data["events"]]
+        for time, kind, detail in data["events"]:
+            collector.record_event(time, EventKind(kind), detail)
+        if sketches:
+            collector.sketch_task_count = sketches["task_count"]
+            collector.sketch_completed_tasks = sketches["completed_tasks"]
+            collector.interactivity_sketch = QuantileSketch.from_dict(
+                sketches["interactivity"])
+            collector.tct_sketch = QuantileSketch.from_dict(sketches["tct"])
         for name in cls._TIMELINE_FIELDS:
             setattr(collector, name, Timeline.from_dict(data["timelines"][name]))
         collector.datastore_read_latencies = list(data["datastore_read_latencies"])
@@ -326,16 +423,15 @@ class ExperimentResult:
 
     def summary(self) -> Dict[str, object]:
         """The headline row the benchmarks print for this policy."""
-        interactivity = self.interactivity_cdf
-        tct = self.tct_cdf
+        collector = self.collector
         return {
             "policy": self.policy,
             "trace": self.trace_name,
-            "tasks_completed": len(self.collector.completed_tasks()),
-            "interactivity_p50_s": interactivity.percentile(0.5) if not interactivity.is_empty else None,
-            "interactivity_p95_s": interactivity.percentile(0.95) if not interactivity.is_empty else None,
-            "tct_p50_s": tct.percentile(0.5) if not tct.is_empty else None,
-            "tct_p95_s": tct.percentile(0.95) if not tct.is_empty else None,
+            "tasks_completed": collector.completed_task_count(),
+            "interactivity_p50_s": collector.interactivity_percentile(0.5),
+            "interactivity_p95_s": collector.interactivity_percentile(0.95),
+            "tct_p50_s": collector.tct_percentile(0.5),
+            "tct_p95_s": collector.tct_percentile(0.95),
             "provisioned_gpu_hours": round(self.provisioned_gpu_hours, 2),
             "max_provisioned_gpus": self.collector.provisioned_gpus.maximum(),
             "migrations": self.migration_count(),

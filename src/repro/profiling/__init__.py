@@ -22,6 +22,7 @@ or from the command line::
 See EXPERIMENTS.md ("Profiling runs") for the report fields.
 """
 
+from repro.profiling.memory import memory_stats
 from repro.profiling.profiler import ProfileReport, Profiler
 
-__all__ = ["ProfileReport", "Profiler"]
+__all__ = ["ProfileReport", "Profiler", "memory_stats"]

@@ -1,0 +1,41 @@
+"""Process-memory measurement for the run stats payload.
+
+:func:`memory_stats` snapshots the process's peak memory at run end; the
+platform publishes it in the ``RUN_END`` stats payload under ``"memory"``
+and the :class:`~repro.profiling.Profiler` folds it into its report.  Peak
+RSS is the process-lifetime high-water mark (``getrusage`` cannot be reset),
+so comparing two configurations needs one process per configuration — which
+is how the memory-bounding acceptance check runs sketch vs exact mode.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Dict
+
+__all__ = ["memory_stats"]
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+
+def memory_stats() -> Dict[str, int]:
+    """Peak process memory, in bytes.
+
+    * ``peak_rss_bytes`` — lifetime peak resident set size (POSIX only;
+      ``ru_maxrss`` is kilobytes on Linux, bytes on macOS).
+    * ``peak_traced_bytes`` — peak Python-level allocation, present only
+      when the caller already started :mod:`tracemalloc`.
+    """
+    stats: Dict[str, int] = {}
+    if resource is not None:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform != "darwin":
+            peak *= 1024
+        stats["peak_rss_bytes"] = int(peak)
+    if tracemalloc.is_tracing():
+        stats["peak_traced_bytes"] = tracemalloc.get_traced_memory()[1]
+    return stats

@@ -59,6 +59,10 @@ class ProfileReport:
     hook_counts: Dict[str, int] = field(default_factory=dict)
     #: Run-scoped cache counters (currently the statesync AST cache).
     ast_cache: Dict[str, int] = field(default_factory=dict)
+    #: Peak process memory at run end (``peak_rss_bytes`` always on POSIX,
+    #: ``peak_traced_bytes`` when tracemalloc is running) — see
+    #: :func:`repro.profiling.memory_stats`.
+    memory: Dict[str, int] = field(default_factory=dict)
     #: Simulated seconds covered by the run.
     sim_time_s: float = 0.0
 
@@ -95,6 +99,7 @@ class ProfileReport:
             "event_counts": dict(self.event_counts),
             "hook_counts": dict(self.hook_counts),
             "ast_cache": dict(self.ast_cache),
+            "memory": dict(self.memory),
             "sim_time_s": self.sim_time_s,
             "derived": {
                 "wall_time_s": round(self.wall_time_s, 3),
@@ -128,6 +133,12 @@ class ProfileReport:
         if self.ast_cache:
             lines.append(f"  ast cache: {self.ast_cache.get('hits', 0):,} hits"
                          f" / {self.ast_cache.get('misses', 0):,} misses")
+        if self.memory:
+            parts = [f"peak rss {self.memory['peak_rss_bytes'] / 2**20:,.1f} MB"
+                     if "peak_rss_bytes" in self.memory else None,
+                     f"peak traced {self.memory['peak_traced_bytes'] / 2**20:,.1f} MB"
+                     if "peak_traced_bytes" in self.memory else None]
+            lines.append("  memory: " + ", ".join(p for p in parts if p))
         if self.event_counts:
             lines.append("  platform events:")
             width = max(len(k) for k in self.event_counts)
@@ -247,6 +258,7 @@ class Profiler:
             hook_counts=dict(self._hook_counts),
             ast_cache={"hits": stats.get("ast_cache_hits", 0),
                        "misses": stats.get("ast_cache_misses", 0)},
+            memory=dict(stats.get("memory", {})),
             sim_time_s=platform.env.now - self._sim_started,
         )
         self.reports.append(report)

@@ -1,0 +1,35 @@
+"""repro.telemetry: streaming observability over the hook bus.
+
+Fixed-memory percentile sketches (:class:`QuantileSketch`), tumbling/sliding
+windowed metric streams (:class:`WindowedStream`), structured trace spans
+with Chrome ``trace_event`` export (:class:`TraceRecorder`,
+:func:`chrome_trace`), and the :class:`Telemetry` attachment that assembles
+all of it from :mod:`repro.api.hooks` publications into a
+:class:`TelemetryReport`.
+"""
+
+from repro.telemetry.sketch import QuantileSketch, quantile_label
+from repro.telemetry.spans import (
+    CONTROL_TRACK,
+    TraceRecorder,
+    TraceSpan,
+    chrome_trace,
+    timeline_dict,
+)
+from repro.telemetry.streams import WindowedStream, WindowSnapshot
+from repro.telemetry.telemetry import DEFAULT_STREAMS, Telemetry, TelemetryReport
+
+__all__ = [
+    "QuantileSketch",
+    "quantile_label",
+    "WindowedStream",
+    "WindowSnapshot",
+    "TraceSpan",
+    "TraceRecorder",
+    "CONTROL_TRACK",
+    "chrome_trace",
+    "timeline_dict",
+    "Telemetry",
+    "TelemetryReport",
+    "DEFAULT_STREAMS",
+]

@@ -1,0 +1,206 @@
+"""Structured trace spans and Chrome ``trace_event`` export.
+
+A :class:`TraceSpan` is one interval (or instant) on the simulated timeline:
+the run, a session, a task (with ``queue``/``execute`` children), a
+distributed kernel's replica-group lifetime, or a point event (checkpoint,
+migration, scale-out/in, replica failure).  Spans carry parent/child links
+(``parent_id``) and a *track* — the session, kernel, or control-plane lane
+they render on.
+
+Two export formats:
+
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (``{"traceEvents": [...]}``) loadable in ``chrome://tracing`` and
+  Perfetto.  Spans become ``ph: "X"`` complete events (``ts``/``dur`` in
+  microseconds of simulated time), instants become ``ph: "i"``, and each
+  track becomes a named thread via ``ph: "M"`` metadata events.  Nesting on
+  a track encodes the parent/child links, which holds by construction:
+  tasks run sequentially within their session's track, and
+  ``queue``/``execute`` lie inside their task.
+* :func:`timeline_dict` — a plain JSON timeline (the span list verbatim),
+  for programmatic consumers and the telemetry report store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["TraceSpan", "TraceRecorder", "chrome_trace", "timeline_dict"]
+
+#: The control-plane track (run span, scale events, unattributed instants).
+CONTROL_TRACK = "control-plane"
+
+
+class TraceSpan:
+    """One span (or instant, when ``end == start`` and ``instant``) on the
+    simulated timeline.
+
+    A plain ``__slots__`` class rather than a dataclass: recorders create
+    one of these per lifecycle event, so construction is on the
+    instrumentation hot path.
+    """
+
+    __slots__ = ("span_id", "name", "category", "start", "end", "parent_id",
+                 "track", "instant", "args")
+
+    def __init__(self, span_id: int, name: str, category: str, start: float,
+                 end: Optional[float] = None,
+                 parent_id: Optional[int] = None,
+                 track: str = CONTROL_TRACK, instant: bool = False,
+                 args: Optional[Dict[str, object]] = None) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = end
+        self.parent_id = parent_id
+        self.track = track
+        self.instant = instant
+        self.args: Dict[str, object] = args if args is not None else {}
+
+    def __repr__(self) -> str:
+        return (f"TraceSpan({self.span_id}, {self.name!r}, {self.category!r},"
+                f" [{self.start}, {self.end}], track={self.track!r})")
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "parent_id": self.parent_id,
+            "track": self.track,
+            "instant": self.instant,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceSpan":
+        return cls(span_id=data["span_id"], name=data["name"],
+                   category=data["category"], start=data["start"],
+                   end=data["end"], parent_id=data["parent_id"],
+                   track=data["track"], instant=data["instant"],
+                   args=dict(data["args"]))
+
+
+class TraceRecorder:
+    """Accumulates spans; the telemetry attachment drives it from hooks."""
+
+    def __init__(self) -> None:
+        self.spans: List[TraceSpan] = []
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def begin(self, name: str, category: str, time: float,
+              parent: Optional[TraceSpan] = None,
+              track: str = CONTROL_TRACK,
+              **args: object) -> TraceSpan:
+        """Open a span; close it later with :meth:`finish`."""
+        span = TraceSpan(self._next_id, name, category, time,
+                         parent_id=parent.span_id if parent else None,
+                         track=track, args=args)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Optional[TraceSpan], time: float) -> None:
+        """Close an open span (no-op for ``None`` or already closed)."""
+        if span is not None and span.end is None:
+            span.end = time
+
+    def instant(self, name: str, category: str, time: float,
+                parent: Optional[TraceSpan] = None,
+                track: str = CONTROL_TRACK, **args: object) -> TraceSpan:
+        """Record a zero-duration point event."""
+        span = TraceSpan(self._next_id, name, category, time, end=time,
+                         parent_id=parent.span_id if parent else None,
+                         track=track, instant=True, args=args)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def close_open_spans(self, time: float) -> int:
+        """Close every still-open span at ``time`` (run teardown)."""
+        closed = 0
+        for span in self.spans:
+            if span.end is None:
+                span.end = time
+                closed += 1
+        return closed
+
+    def category_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            counts[span.category] = counts.get(span.category, 0) + 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# Export.
+# ----------------------------------------------------------------------
+def _micros(seconds: float) -> float:
+    """Simulated seconds -> trace-event microseconds (1 sim s = 1 s)."""
+    return seconds * 1e6
+
+
+def chrome_trace(spans: List[TraceSpan],
+                 trace_name: str = "repro") -> Dict[str, object]:
+    """Render spans as a Chrome ``trace_event`` JSON object.
+
+    Loads in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+    Tracks map to threads of one synthetic process, in first-seen order, so
+    the UI groups each session/kernel on its own row with the control plane
+    on top.
+    """
+    pid = 1
+    tids: Dict[str, int] = {CONTROL_TRACK: 0}
+    for span in spans:
+        if span.track not in tids:
+            tids[span.track] = len(tids)
+
+    events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": f"repro simulation: {trace_name}"},
+    }]
+    for track, tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+        events.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"sort_index": tid}})
+
+    for span in spans:
+        tid = tids[span.track]
+        args = dict(span.args)
+        if span.parent_id is not None:
+            args["parent_span"] = span.parent_id
+        if span.instant:
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "i",
+                "s": "t", "ts": _micros(span.start), "pid": pid, "tid": tid,
+                "args": args,
+            })
+        else:
+            end = span.end if span.end is not None else span.start
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "X",
+                "ts": _micros(span.start),
+                "dur": max(0.0, _micros(end - span.start)),
+                "pid": pid, "tid": tid, "args": args,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def timeline_dict(spans: List[TraceSpan],
+                  trace_name: str = "repro") -> Dict[str, object]:
+    """The plain JSON timeline export: every span, verbatim."""
+    return {"trace_name": trace_name,
+            "spans": [span.to_dict() for span in spans]}

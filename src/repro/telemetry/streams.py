@@ -1,0 +1,296 @@
+"""Windowed metric streams: fixed-memory rates and quantiles over time.
+
+A :class:`WindowedStream` consumes a time-ordered scalar signal (task
+interactivity, completion counts, placement outcomes, ...) and maintains
+*tumbling* windows: each window holds one :class:`QuantileSketch` plus
+count/sum/min/max, and is frozen into a :class:`WindowSnapshot` the moment
+the signal crosses the window boundary.  Memory is ``O(windows · δ)`` —
+independent of the number of samples — which is what lets million-task runs
+answer "what is p99 interactivity *right now*, over the last window" without
+storing every sample.
+
+Sliding views are built by *merging*: the stream retains the sketches of the
+most recent closed windows (``retain_sketches``), and
+:meth:`WindowedStream.sliding_quantile` merges the last *k* of them with the
+in-flight window for a windowed-but-smoother estimate.  A run-level
+``overall`` sketch accumulates everything.
+
+Streams are driven from hook-bus callbacks (see
+:class:`repro.telemetry.Telemetry`), so they never touch the simulation
+timeline; window-close callbacks registered via :meth:`on_window` run inline
+and inherit the same zero-timeline-impact guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.telemetry.sketch import QuantileSketch, quantile_label
+
+__all__ = ["WindowSnapshot", "WindowedStream"]
+
+
+@dataclass
+class WindowSnapshot:
+    """One closed window's summary (no raw samples retained)."""
+
+    index: int
+    start: float
+    end: float
+    count: int
+    total: float
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    quantiles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    @property
+    def rate_per_s(self) -> float:
+        """Samples per simulated second over this window."""
+        span = self.end - self.start
+        if span <= 0.0:
+            return 0.0
+        return self.count / span
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "rate_per_s": self.rate_per_s,
+            "quantiles": dict(self.quantiles),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WindowSnapshot":
+        return cls(index=data["index"], start=data["start"], end=data["end"],
+                   count=data["count"], total=data["total"],
+                   minimum=data["min"], maximum=data["max"],
+                   quantiles=dict(data["quantiles"]))
+
+
+class WindowedStream:
+    """Tumbling-window summaries of one time-ordered scalar signal.
+
+    ``observe(time, value)`` must be called with nondecreasing ``time`` (the
+    simulation clock guarantees this for hook-driven streams).  Windows are
+    aligned to multiples of ``window_s`` from ``origin``; empty windows are
+    emitted too, so ``windows`` is a contiguous timeline and rate queries
+    see zeros rather than gaps.
+    """
+
+    def __init__(self, name: str, window_s: float = 300.0,
+                 quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+                 compression: int = 100, origin: float = 0.0,
+                 retain_sketches: int = 8, counter: bool = False) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.name = name
+        self.window_s = float(window_s)
+        self.quantiles = tuple(quantiles)
+        self.compression = int(compression)
+        self.origin = float(origin)
+        #: Counter streams track count/total/min/max only — no quantile
+        #: sketch, because their per-sample values are degenerate (rates
+        #: pass 1.0).  Quantile queries return ``None``.
+        self.counter = bool(counter)
+        self.windows: List[WindowSnapshot] = []
+        self.overall = QuantileSketch(compression=compression)
+        self._recent: Deque[QuantileSketch] = deque(maxlen=retain_sketches)
+        self._current: Optional[QuantileSketch] = None
+        self._current_start = self.origin
+        self._current_end = self.origin + self.window_s
+        self._cur_count = 0
+        self._cur_total = 0.0
+        self._cur_min: Optional[float] = None
+        self._cur_max: Optional[float] = None
+        self._all_count = 0
+        self._all_total = 0.0
+        self._all_min: Optional[float] = None
+        self._all_max: Optional[float] = None
+        self._window_callbacks: List[Callable[[WindowSnapshot], None]] = []
+        self._finalized = False
+        if self.counter:
+            # Instance-attribute dispatch: counter streams get the scalar
+            # fast path without a per-sample mode branch.
+            self.observe = self._observe_count  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # Ingest.
+    # ------------------------------------------------------------------
+    def observe(self, time: float, value: float = 1.0) -> None:
+        """Record one sample at simulated ``time`` (counters pass 1.0)."""
+        # Hot path: one sample lands in the in-flight window's sketch; the
+        # run-level ``overall`` sketch absorbs whole windows at close time
+        # (a centroid merge) rather than paying a second add per sample.
+        if time >= self._current_end:
+            self._roll_to(time)
+        current = self._current
+        if current is None:
+            current = self._current = \
+                QuantileSketch(compression=self.compression)
+        current.add(value)
+
+    def _observe_count(self, time: float, value: float = 1.0) -> None:
+        """The counter-mode hot path: scalar accumulators, no sketch."""
+        if time >= self._current_end:
+            self._roll_to(time)
+        self._cur_count += 1
+        self._cur_total += value
+        if self._cur_min is None or value < self._cur_min:
+            self._cur_min = value
+        if self._cur_max is None or value > self._cur_max:
+            self._cur_max = value
+
+    def finalize(self, end_time: float) -> None:
+        """Close every window up to ``end_time`` (the in-flight one partial).
+
+        Idempotent for a given ``end_time``; the telemetry attachment calls
+        this once at ``RUN_END``.
+        """
+        if self._finalized:
+            return
+        self._roll_to(end_time)
+        in_flight = self._cur_count > 0 if self.counter else \
+            self._current is not None and not self._current.is_empty
+        if in_flight:
+            self._close_window(min(self._current_start + self.window_s,
+                                   max(end_time, self._current_start)))
+        self._finalized = True
+
+    def on_window(self, callback: Callable[[WindowSnapshot], None]
+                  ) -> Callable[[WindowSnapshot], None]:
+        """Invoke ``callback(snapshot)`` inline whenever a window closes."""
+        self._window_callbacks.append(callback)
+        return callback
+
+    def _roll_to(self, time: float) -> None:
+        while time >= self._current_end:
+            self._close_window(self._current_end)
+
+    def _close_window(self, end: float) -> None:
+        if self.counter:
+            count, total = self._cur_count, self._cur_total
+            minimum, maximum = self._cur_min, self._cur_max
+            quantiles: Dict[str, float] = {}
+            self._all_count += count
+            self._all_total += total
+            if minimum is not None and (self._all_min is None
+                                        or minimum < self._all_min):
+                self._all_min = minimum
+            if maximum is not None and (self._all_max is None
+                                        or maximum > self._all_max):
+                self._all_max = maximum
+            self._cur_count = 0
+            self._cur_total = 0.0
+            self._cur_min = self._cur_max = None
+        else:
+            sketch = self._current
+            if sketch is None:
+                sketch = QuantileSketch(compression=self.compression)
+            else:
+                self.overall.merge(sketch)
+            count, total = sketch.count, sketch.total
+            minimum, maximum = sketch.minimum, sketch.maximum
+            quantiles = {} if sketch.is_empty else \
+                {quantile_label(q): sketch.quantile(q)
+                 for q in self.quantiles}
+            self._recent.append(sketch)
+            self._current = None
+        snapshot = WindowSnapshot(
+            index=len(self.windows),
+            start=self._current_start,
+            end=end,
+            count=count,
+            total=total,
+            minimum=minimum,
+            maximum=maximum,
+            quantiles=quantiles)
+        self.windows.append(snapshot)
+        self._current_start = end
+        self._current_end = end + self.window_s
+        for callback in self._window_callbacks:
+            callback(snapshot)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total samples observed (all windows plus the in-flight one)."""
+        if self.counter:
+            return self._all_count + self._cur_count
+        current = self._current
+        return self.overall.count + (current.count if current is not None
+                                     else 0)
+
+    @property
+    def last_window(self) -> Optional[WindowSnapshot]:
+        return self.windows[-1] if self.windows else None
+
+    def sliding_quantile(self, q: float,
+                         num_windows: int = 4) -> Optional[float]:
+        """Quantile over the last ``num_windows`` closed windows plus the
+        in-flight one — a sliding view built by sketch merging."""
+        if self.counter:
+            return None
+        merged = QuantileSketch(compression=self.compression)
+        recent = list(self._recent)[-num_windows:] if num_windows > 0 else []
+        for sketch in recent:
+            merged.merge(sketch)
+        if self._current is not None:
+            merged.merge(self._current)
+        return merged.quantile(q)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Run-level quantile estimate (every sample ever observed)."""
+        if self.counter:
+            return None
+        current = self._current
+        if current is None or current.is_empty:
+            return self.overall.quantile(q)
+        merged = QuantileSketch(compression=self.compression)
+        merged.merge(self.overall)
+        merged.merge(current)
+        return merged.quantile(q)
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        if self.counter:
+            count = self._all_count + self._cur_count
+            total = self._all_total + self._cur_total
+            overall: Dict[str, object] = {
+                "count": count,
+                "min": self._all_min if self._cur_min is None else
+                (self._cur_min if self._all_min is None
+                 else min(self._all_min, self._cur_min)),
+                "max": self._all_max if self._cur_max is None else
+                (self._cur_max if self._all_max is None
+                 else max(self._all_max, self._cur_max)),
+                "mean": (total / count) if count else None,
+            }
+        else:
+            overall = self.overall.summary(self.quantiles)
+        return {
+            "name": self.name,
+            "window_s": self.window_s,
+            "quantile_labels": [] if self.counter else
+            [quantile_label(q) for q in self.quantiles],
+            "count": self.count,
+            "windows": [w.to_dict() for w in self.windows],
+            "overall": overall,
+        }

@@ -1,0 +1,75 @@
+"""CLI tests for the ``telemetry`` and ``trace`` experiment subcommands."""
+
+import json
+
+from repro.api import ResultStore, RunSpec
+from repro.experiments.__main__ import main
+from repro.telemetry import TelemetryReport
+
+
+def test_telemetry_command_prints_report(capsys):
+    assert main(["telemetry", "smoke", "--window", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "interactivity" in out
+    assert "task_submit" in out
+    assert "p99" in out
+
+
+def test_telemetry_command_stream_table_and_json(tmp_path, capsys):
+    out_path = tmp_path / "telemetry.json"
+    assert main(["telemetry", "smoke", "--window", "600",
+                 "--stream", "interactivity", "--spans",
+                 "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "interactivity" in out
+
+    report = TelemetryReport.from_dict(json.loads(out_path.read_text()))
+    assert report.overall("interactivity")["count"] > 0
+    assert report.span_counts["task"] > 0
+
+
+def test_telemetry_command_sketch_mode(capsys):
+    assert main(["telemetry", "smoke", "--window", "600", "--sketch"]) == 0
+    assert "task_complete" in capsys.readouterr().out
+
+
+def test_telemetry_command_store_artifact(tmp_path, capsys):
+    assert main(["telemetry", "smoke", "--window", "600",
+                 "--store-artifact", "--store-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    spec = RunSpec.from_scenario("smoke")
+    loaded = ResultStore(tmp_path).load_artifact(spec, "telemetry")
+    assert loaded is not None
+    assert TelemetryReport.from_dict(loaded).overall("task_submit")["count"] > 0
+
+
+def test_telemetry_command_rejects_unknown_stream_and_scenario(capsys):
+    assert main(["telemetry", "smoke", "--stream", "nope"]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["telemetry", "no_such_scenario"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_command_writes_chrome_trace(tmp_path, capsys):
+    out_path = tmp_path / "smoke.trace.json"
+    assert main(["trace", "smoke", "--out", str(out_path)]) == 0
+    assert "spans" in capsys.readouterr().out
+
+    document = json.loads(out_path.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    assert events
+    assert {event["ph"] for event in events} <= {"M", "X", "i"}
+    for event in events:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+        if event["ph"] != "M":
+            assert "ts" in event
+
+
+def test_trace_command_timeline_variant(tmp_path, capsys):
+    out_path = tmp_path / "smoke.timeline.json"
+    assert main(["trace", "smoke", "--out", str(out_path), "--timeline"]) == 0
+    capsys.readouterr()
+    document = json.loads(out_path.read_text())
+    assert document["spans"]
+    assert all("name" in span and "start" in span for span in document["spans"])
