@@ -50,9 +50,17 @@ class HostIndex:
 
     __slots__ = ("_rank_keys", "_rank_hosts", "_entry_keys",
                  "_idle_serials", "_idle_hosts", "_idle_serial_of",
-                 "_next_serial", "_idle_buckets", "_hosts_by_id")
+                 "_next_serial", "_idle_buckets", "_hosts_by_id", "version")
 
     def __init__(self) -> None:
+        #: Monotonic change counter.  Every mutation entry point (``add``,
+        #: ``discard``, ``reindex``) bumps it unconditionally — the counter
+        #: may over-approximate change (a reindex that lands on the same
+        #: rank key still bumps), never under-approximate it, which is the
+        #: contract the :class:`repro.core.runstate.DecisionCache` guards
+        #: rely on.  Placement-relevant cluster mutations all funnel through
+        #: these three methods via the ``Host -> ClusterState`` delta hooks.
+        self.version = 0
         # Parallel lists sorted by rank key; _entry_keys remembers the key a
         # host is currently filed under so a stale entry can be located after
         # the host's counters have already changed.
@@ -79,6 +87,7 @@ class HostIndex:
     # ------------------------------------------------------------------
     def add(self, host: Host) -> None:
         """Index an active host (idempotent)."""
+        self.version += 1
         host_id = host.host_id
         if host_id in self._entry_keys:
             self.reindex(host)
@@ -101,6 +110,7 @@ class HostIndex:
 
     def discard(self, host: Host) -> None:
         """Drop a host from every view (idempotent)."""
+        self.version += 1
         host_id = host.host_id
         key = self._entry_keys.pop(host_id, None)
         if key is None:
@@ -119,6 +129,7 @@ class HostIndex:
 
     def reindex(self, host: Host) -> None:
         """Re-file a host whose counters changed (no-op if not indexed)."""
+        self.version += 1
         host_id = host.host_id
         old_key = self._entry_keys.get(host_id)
         if old_key is None:

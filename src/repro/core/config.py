@@ -44,6 +44,14 @@ class PlatformConfig:
     subscription_ratio_limit: Optional[float] = None  # None = dynamic cluster-wide limit
     subscription_high_watermark: float = 3.0
     oversubscription_enabled: bool = True
+    # Columnar run state + batched policy decisions (repro.core.runstate):
+    # same-timestamp admissions are batched into one decide_batch call per
+    # policy per timestamp, and pure policy decisions are served from a
+    # version-guarded cache.  Results are bit-identical either way (the
+    # cache computes misses through the frozen per-task path); disabling
+    # forces the frozen reference path end to end — differential tests and
+    # the bench_policy A/B use this.
+    policy_batching_enabled: bool = True
 
     # Auto-scaling (§3.4.2).
     autoscaler_enabled: bool = True

@@ -46,6 +46,19 @@ class KernelReplica:
     executions: int = 0
     was_prewarmed: bool = False
 
+    def __setattr__(self, name: str, value) -> None:
+        # Replica state transitions (IDLE <-> EXECUTING, MIGRATING,
+        # TERMINATED) change what make_proposals / preferred_executor would
+        # return, so they invalidate the owning kernel's cached decisions.
+        # The ``_kernel`` back-reference is installed by
+        # DistributedKernel.add_replica; before that (construction, pooled
+        # replicas) there is nothing to invalidate.
+        object.__setattr__(self, name, value)
+        if name == "state":
+            owner = self.__dict__.get("_kernel")
+            if owner is not None:
+                owner.decision_version += 1
+
     @property
     def host_id(self) -> str:
         return self.host.host_id
@@ -88,16 +101,25 @@ class DistributedKernel:
     terminated_at: Optional[float] = None
     migrations: int = 0
     executions_completed: int = 0
+    #: Monotonic change counter for election-relevant kernel state: bumped
+    #: when the replica set changes and whenever any owned replica changes
+    #: ``state`` (via the KernelReplica ``__setattr__`` hook).  Decision-
+    #: cache guards for make_proposals / preferred_executor snapshot it
+    #: together with the replica hosts' ``version`` counters.
+    decision_version: int = 0
 
     # ------------------------------------------------------------------
     # Replica management.
     # ------------------------------------------------------------------
     def add_replica(self, replica: KernelReplica) -> None:
         self.replicas.append(replica)
+        replica._kernel = self
+        self.decision_version += 1
 
     def remove_replica(self, replica_id: str) -> Optional[KernelReplica]:
         for index, replica in enumerate(self.replicas):
             if replica.replica_id == replica_id:
+                self.decision_version += 1
                 return self.replicas.pop(index)
         return None
 

@@ -56,6 +56,22 @@ class ElectionOutcome:
     def lead_count(self) -> int:
         return sum(1 for p in self.proposals if p.lead)
 
+    def signature(self) -> tuple:
+        """A compact, hashable record of everything this outcome decided.
+
+        Differential tests compare signatures between the batched-columnar
+        path and the frozen per-task reference — equal signatures mean the
+        same winner, the same sampled Raft latency (i.e. the same RNG
+        stream position), the same yield conversions, and the same
+        proposals in the same order.
+        """
+        return (self.election_id,
+                self.winner.replica_id if self.winner is not None else None,
+                self.latency_s,
+                self.converted_to_yield,
+                tuple((p.replica_id, p.host_id, p.lead)
+                      for p in self.proposals))
+
 
 @dataclass
 class ElectionLatencyModel:

@@ -36,6 +36,7 @@ from repro.core.local_scheduler import (
     uniform_processing_delay,
 )
 from repro.core.placement import LeastLoadedPlacement, PlacementPolicy
+from repro.core.runstate import compute_preferred_executor
 from repro.metrics.collector import EventKind, MetricsCollector
 from repro.simulation.distributions import SeededRandom
 from repro.simulation.engine import Environment
@@ -75,6 +76,17 @@ class ClusterState:
         self._subscribed_gpus = 0
         # Incrementally maintained placement orderings over active hosts.
         self.index = HostIndex()
+
+    @property
+    def version(self) -> int:
+        """Monotonic cluster change counter (decision-cache guard).
+
+        Delegates to the index: every placement-relevant mutation — host
+        add/remove, decommission, and every committed/subscribed delta —
+        funnels through ``index.add`` / ``discard`` / ``reindex``, each of
+        which bumps unconditionally.
+        """
+        return self.index.version
 
     def add_host(self, host: Host, scheduler: LocalScheduler) -> None:
         self.hosts[host.host_id] = host
@@ -200,6 +212,10 @@ class GlobalScheduler:
             subscription_ratio_limit=platform_config.subscription_ratio_limit,
             high_watermark=platform_config.subscription_high_watermark)
         self._rng = rng or SeededRandom(platform_config.seed)
+        # The platform's policy-decision cache (repro.core.runstate), wired
+        # in by NotebookOSPlatform; None for standalone construction, which
+        # then computes every decision directly (the frozen reference path).
+        self.decisions = None
         self.kernels: Dict[str, DistributedKernel] = {}
         self.pending_scale_out = 0
         self.migrations_attempted = 0
@@ -309,17 +325,14 @@ class GlobalScheduler:
         """The replica the scheduler designates when it has enough information.
 
         Prefers the previous executor (its GPU-resident state is warm), then
-        the replica on the host with the most idle GPUs.
+        the replica on the host with the most idle GPUs.  The selection
+        logic lives in :func:`repro.core.runstate.compute_preferred_executor`
+        (pure), and is computed directly: each election queries it exactly
+        once, so the version-guarded memo (still exposed as
+        :meth:`DecisionCache.preferred_executor` for repeat-query callers)
+        would pay guard costs without serving repeats here.
         """
-        candidates = [r for r in kernel.active_replicas if r.can_lead(gpus_required)]
-        if not candidates:
-            return None
-        last = kernel.election.last_executor_id if kernel.election else None
-        for replica in candidates:
-            if replica.replica_id == last:
-                return replica.replica_id
-        best = max(candidates, key=lambda r: (r.host.idle_gpus, -r.host.subscribed_gpus))
-        return best.replica_id
+        return compute_preferred_executor(kernel, gpus_required)
 
     # ------------------------------------------------------------------
     # Replica migration (§3.2.3).
@@ -339,7 +352,10 @@ class GlobalScheduler:
         victim.state = ReplicaState.MIGRATING
 
         # The victim persists its important state to the data store first.
-        large_objects = [obj for obj in kernel.namespace_objects()
+        namespace = (self.decisions.namespace_objects(kernel)
+                     if self.decisions is not None
+                     else kernel.namespace_objects())
+        large_objects = [obj for obj in namespace
                          if obj.size_bytes >= 1024 * 1024]
         if kernel.synchronizer is not None and large_objects:
             yield from kernel.synchronizer.checkpoint_manager.checkpoint_all(

@@ -48,6 +48,28 @@ class SchedulingPolicy:
         yield 0.0
 
     # ------------------------------------------------------------------
+    # Batched decisions (columnar fast path).
+    # ------------------------------------------------------------------
+    def decide_batch(self, platform: "NotebookOSPlatform", batch) -> int:
+        """Warm the policy-decision cache for one same-timestamp batch.
+
+        The platform's :class:`~repro.core.runstate.RunState` calls this
+        *synchronously* (not a simulation process) at the first admission of
+        each distinct submit timestamp, passing an
+        :class:`~repro.core.runstate.AdmissionBatch` that covers every task
+        submitting at that instant — one policy call per policy per
+        timestamp, mirroring the engine's fused same-timestamp dispatch.
+
+        Implementations must be **pure** with respect to simulation state:
+        no mutation, no RNG draws, no simulated time — only reads and
+        version-guarded decision-cache stores, so a batched run stays
+        bit-identical to the frozen per-task reference regardless of how
+        accurate the warm-ahead turns out to be.  Returns the number of
+        decisions warmed (0 for policies with nothing cacheable).
+        """
+        return 0
+
+    # ------------------------------------------------------------------
     # Metrics hooks.
     # ------------------------------------------------------------------
     def provisioned_gpus(self, platform: "NotebookOSPlatform") -> float:

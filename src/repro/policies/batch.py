@@ -47,8 +47,35 @@ class BatchPolicy(SchedulingPolicy):
         # Served by the cluster's idle-GPU buckets: hopeless polls (no
         # qualifying bucket) are rejected in O(buckets) while the FCFS queue
         # waits for capacity, and a hit reads max(idle_gpus, host_id)
-        # straight off the best bucket — never a host-list scan.
+        # straight off the best bucket — never a host-list scan.  With the
+        # decision cache wired, repeated polls between cluster deltas (the
+        # saturated-queue steady state) are one dict lookup.
+        runstate = getattr(platform, "runstate", None)
+        if runstate is not None:
+            return runstate.decisions.most_idle_host(platform.cluster, gpus)
         return platform.cluster.most_idle_host(gpus)
+
+    # ------------------------------------------------------------------
+    # Batched decisions.
+    # ------------------------------------------------------------------
+    def decide_batch(self, platform: "NotebookOSPlatform", batch) -> int:
+        """Warm one FCFS host probe per distinct GPU request size.
+
+        Queue tickets stay strictly consumption-driven — pre-assigning them
+        here would reorder the FCFS queue — so only the pure host probes
+        are warmed (the clamp and the ``max(gpus, 1)`` floor mirror the
+        per-task effective request computation in ``execute_task``).
+        """
+        runstate = getattr(platform, "runstate", None)
+        if runstate is None or not runstate.enabled:
+            return 0
+        cap = platform.cluster_config.host_spec.num_gpus
+        warmed = 0
+        for gpus in batch.gpu_requests():
+            gpus = min(gpus, cap)
+            self._find_host(platform, max(gpus, 1) if gpus else 0)
+            warmed += 1
+        return warmed
 
     def _acquire_host(self, platform: "NotebookOSPlatform", gpus: int):
         """Simulation process: FCFS-wait until some host has ``gpus`` idle GPUs."""

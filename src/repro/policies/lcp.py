@@ -41,13 +41,26 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
     # Host / container acquisition.
     # ------------------------------------------------------------------
     def _find_host(self, platform: "NotebookOSPlatform", gpus: int) -> Optional[Host]:
-        # Served from the cluster's idle-GPU buckets: only qualifying hosts
-        # are enumerated (best bucket first, host ids ascending), so the
-        # common few-hosts-qualify case costs O(answer) instead of the old
-        # O(n) rank-list scan.  The selection is identical to minimizing
-        # (-has_warm_container, -idle_gpus, host_id) over qualifying hosts:
-        # walking (idle desc, id asc), the first warm host is the minimum
-        # among warm hosts, and the very first host is the no-warm fallback.
+        # Version-guarded memo over the scan below: the guard covers both
+        # the cluster index (host/GPU churn) and the prewarmer (warm-pool
+        # churn), the two inputs the scan reads.
+        runstate = getattr(platform, "runstate", None)
+        if runstate is not None:
+            return runstate.decisions.warm_pool_host(
+                platform.cluster, platform.prewarmer, gpus,
+                lambda: self._scan_for_host(platform, gpus))
+        return self._scan_for_host(platform, gpus)
+
+    def _scan_for_host(self, platform: "NotebookOSPlatform",
+                       gpus: int) -> Optional[Host]:
+        # The frozen reference scan.  Served from the cluster's idle-GPU
+        # buckets: only qualifying hosts are enumerated (best bucket first,
+        # host ids ascending), so the common few-hosts-qualify case costs
+        # O(answer) instead of the old O(n) rank-list scan.  The selection
+        # is identical to minimizing (-has_warm_container, -idle_gpus,
+        # host_id) over qualifying hosts: walking (idle desc, id asc), the
+        # first warm host is the minimum among warm hosts, and the very
+        # first host is the no-warm fallback.
         available = platform.prewarmer.available
         fallback: Optional[Host] = None
         for host in platform.cluster.iter_hosts_by_idle_desc(gpus):
@@ -56,6 +69,27 @@ class LargeContainerPoolPolicy(SchedulingPolicy):
             if fallback is None:
                 fallback = host
         return fallback
+
+    # ------------------------------------------------------------------
+    # Batched decisions.
+    # ------------------------------------------------------------------
+    def decide_batch(self, platform: "NotebookOSPlatform", batch) -> int:
+        """Warm one host probe per distinct GPU request size in the batch.
+
+        ``execute_task`` probes synchronously at admission time — before any
+        ingress sleep — so a warmed probe is a guaranteed cache hit for
+        every task in the batch (the clamp below mirrors the per-task
+        effective request computation).
+        """
+        runstate = getattr(platform, "runstate", None)
+        if runstate is None or not runstate.enabled:
+            return 0
+        cap = platform.cluster_config.host_spec.num_gpus
+        warmed = 0
+        for gpus in batch.gpu_requests():
+            self._find_host(platform, min(gpus, cap))
+            warmed += 1
+        return warmed
 
     # ------------------------------------------------------------------
     # Cell execution.

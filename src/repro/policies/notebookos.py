@@ -61,6 +61,42 @@ class NotebookOSPolicy(SchedulingPolicy):
         return self._kernels.get(session_id)
 
     # ------------------------------------------------------------------
+    # Batched decisions.
+    # ------------------------------------------------------------------
+    def decide_batch(self, platform: "NotebookOSPlatform", batch) -> int:
+        """Warm the namespace snapshot of every kernel admitting a task.
+
+        The namespace memo is the decision that genuinely repeats — every
+        post-execution replication re-derives it, and it never invalidates
+        — so warming it here makes the whole batch's replication chains
+        O(1) lookups.  Election inputs (proposals, preferred executor) are
+        deliberately *not* pre-warmed: they are queried exactly once per
+        task after the ingress sleep, so admission-time warming would run
+        the same computation one extra time per task for no repeat use;
+        they are cached at use time instead, where quiet stretches between
+        cluster deltas turn repeat queries into hits.  Pure: the election
+        itself — which always consumes RNG — still runs per task in
+        ``execute_task``.
+        """
+        runstate = getattr(platform, "runstate", None)
+        if runstate is None or not runstate.enabled:
+            return 0
+        decisions = runstate.decisions
+        warmed = 0
+        seen = set()
+        table = batch.table
+        for index in batch.indices:
+            kernel = self._kernels.get(table.session_ids[index])
+            if kernel is None:       # session not started yet: per-task path
+                continue
+            if kernel.kernel_id in seen:
+                continue
+            seen.add(kernel.kernel_id)
+            decisions.namespace_objects(kernel)
+            warmed += 1
+        return warmed
+
+    # ------------------------------------------------------------------
     # Cell execution.
     # ------------------------------------------------------------------
     def execute_task(self, platform: "NotebookOSPlatform", session: SessionTrace,
@@ -78,6 +114,12 @@ class NotebookOSPolicy(SchedulingPolicy):
         # captured before the election to derive the reuse statistic.
         previous_executor = kernel.election.last_executor_id
         gpus_needed = task.gpus if task.is_gpu_task else 0
+        # Proposals and the preferred executor are computed directly: each is
+        # queried exactly once per election, so a version-guarded memo would
+        # pay guard-construction costs comparable to the computation itself
+        # without ever serving a repeat.  (DecisionCache.proposals /
+        # .preferred_executor stay available for callers with repeat-query
+        # patterns; the differential harness pins their equivalence.)
         proposals = kernel.make_proposals(gpus_needed)
         preferred = platform.global_scheduler.preferred_executor(kernel, gpus_needed)
         outcome = kernel.election.decide(proposals, preferred_replica=preferred)
@@ -186,8 +228,11 @@ class NotebookOSPolicy(SchedulingPolicy):
     def _replicate_state(self, platform: "NotebookOSPlatform",
                          kernel: DistributedKernel, executor_replica: str,
                          task: TaskRecord):
+        runstate = getattr(platform, "runstate", None)
+        namespace = (runstate.decisions.namespace_objects(kernel)
+                     if runstate is not None else kernel.namespace_objects())
         report = yield from kernel.synchronizer.synchronize(
-            task.code, kernel.namespace_objects(), executor_replica,
+            task.code, namespace, executor_replica,
             node_id=executor_replica)
         if report.raft_sync_latency > 0:
             platform.metrics.raft_sync_latencies.append(report.raft_sync_latency)

@@ -99,6 +99,21 @@ class ReservationPolicy(SchedulingPolicy):
                    default=None)
 
     # ------------------------------------------------------------------
+    # Batched decisions: deliberately nothing.
+    # ------------------------------------------------------------------
+    def decide_batch(self, platform: "NotebookOSPlatform", batch) -> int:
+        """No decisions are safely cacheable for Reservation.
+
+        ``_find_host`` filters on ``host.pool.can_commit`` — CPU/memory
+        commits on the per-host :class:`ResourcePool`, which is *not*
+        covered by the cluster version counter (pool commit/release fires
+        no delta hook) — so a version-guarded memo of it could serve stale
+        answers.  The task chain itself holds no repeated pure decision:
+        the reservation pins the host for the session's lifetime.
+        """
+        return 0
+
+    # ------------------------------------------------------------------
     # Cell execution: the GPUs are already bound to the session.
     # ------------------------------------------------------------------
     def execute_task(self, platform: "NotebookOSPlatform", session: SessionTrace,

@@ -91,6 +91,14 @@ class StateSynchronizer:
         self._rng = rng or SeededRandom(hash(kernel_id) & 0x7FFFFFFF)
         self.sync_latencies: List[float] = []
         self.reports: List[SyncReport] = []
+        # code -> (namespace list object, touched, small, large).  An entry
+        # is valid only while the caller passes the *same* namespace list
+        # object (identity check): the kernel-level namespace memo in
+        # repro.core.runstate returns a stable list, so repeated executions
+        # of the same cell skip the filter/partition scans.  Without that
+        # memo each call passes a fresh list and this cache just recomputes
+        # — same result either way (the partition is deterministic).
+        self._partition_cache: dict = {}
 
     def synchronize(self, code: str, namespace_objects: Sequence[NamespaceObject],
                     executor_replica: str, node_id: Optional[str] = None):
@@ -101,10 +109,18 @@ class StateSynchronizer:
         assigned/mutated are replicated.
         """
         analysis = analyze_code(code)
-        touched_names = analysis.names_to_replicate
-        touched = [obj for obj in namespace_objects if obj.name in touched_names]
-        small = [obj for obj in touched if obj.object_class == ObjectClass.SMALL]
-        large = [obj for obj in touched if obj.object_class == ObjectClass.LARGE]
+        cached = self._partition_cache.get(code)
+        if cached is not None and cached[0] is namespace_objects:
+            _, small, large = cached
+        else:
+            touched_names = analysis.names_to_replicate
+            touched = [obj for obj in namespace_objects
+                       if obj.name in touched_names]
+            small = [obj for obj in touched
+                     if obj.object_class == ObjectClass.SMALL]
+            large = [obj for obj in touched
+                     if obj.object_class == ObjectClass.LARGE]
+            self._partition_cache[code] = (namespace_objects, small, large)
         report = SyncReport(analysis=analysis, small_objects=small, large_objects=large)
 
         # Step 1: AST + small state through the Raft log.

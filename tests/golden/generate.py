@@ -10,9 +10,15 @@ Run from the repository root (only when a behavior change is *intended*)::
 
     PYTHONPATH=src python tests/golden/generate.py
 
-and commit the resulting ``smoke_metrics.json`` together with the change
-that moved the numbers.  ``tests/test_golden_metrics.py`` asserts the
-current engine reproduces this file exactly.
+and commit the resulting ``smoke_metrics.json`` and
+``mega_smoke_metrics.json`` together with the change that moved the
+numbers.  ``tests/test_golden_metrics.py`` asserts the current engine
+reproduces these files exactly.
+
+The mega-smoke golden replays a scaled-down ``mega_scale`` scenario
+(same platform/cluster config preset, fewer sessions over a shorter
+window) so the batched-decision fast path is pinned on the scenario
+family it targets, at a size the test suite can afford.
 """
 
 from __future__ import annotations
@@ -22,10 +28,14 @@ import json
 from pathlib import Path
 
 GOLDEN_PATH = Path(__file__).with_name("smoke_metrics.json")
+MEGA_GOLDEN_PATH = Path(__file__).with_name("mega_smoke_metrics.json")
 
 QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
 FIG13_INTERVALS_MIN = (15, 30, 60, 90, 120)
 POLICIES = ("notebookos", "reservation")
+MEGA_POLICIES = ("notebookos",)
+#: Generator overrides that shrink mega_scale to test-suite size.
+MEGA_SMOKE_OVERRIDES = {"num_sessions": 150, "duration_hours": 1.0}
 
 
 def collector_digest(collector) -> str:
@@ -80,10 +90,33 @@ def build_goldens() -> dict:
     return golden
 
 
+def build_mega_goldens() -> dict:
+    from repro.experiments import default_registry
+    from repro.experiments.runner import _execute_spec
+    from repro.metrics.collector import ExperimentResult
+
+    scenario = default_registry().get("mega_scale")
+    golden: dict = {"scenario": "mega_scale",
+                    "overrides": dict(MEGA_SMOKE_OVERRIDES),
+                    "policies": {}}
+    for policy in MEGA_POLICIES:
+        spec = scenario.instantiate(policy=policy, **MEGA_SMOKE_OVERRIDES)
+        result = ExperimentResult.from_dict(_execute_spec(spec.to_dict()))
+        collector = result.collector
+        golden["policies"][policy] = {
+            "collector_sha256": collector_digest(collector),
+            "tasks_completed": len(collector.completed_tasks()),
+        }
+    return golden
+
+
 def main() -> None:
     golden = build_goldens()
     GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH}")
+    mega = build_mega_goldens()
+    MEGA_GOLDEN_PATH.write_text(json.dumps(mega, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {MEGA_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,9 @@ _spec = importlib.util.spec_from_file_location(
 _generate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(_generate)
 GOLDEN_PATH = _generate.GOLDEN_PATH
+MEGA_GOLDEN_PATH = _generate.MEGA_GOLDEN_PATH
 build_goldens = _generate.build_goldens
+build_mega_goldens = _generate.build_mega_goldens
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +37,16 @@ def golden() -> dict:
 @pytest.fixture(scope="module")
 def current() -> dict:
     return build_goldens()
+
+
+@pytest.fixture(scope="module")
+def mega_golden() -> dict:
+    return json.loads(Path(MEGA_GOLDEN_PATH).read_text())
+
+
+@pytest.fixture(scope="module")
+def mega_current() -> dict:
+    return build_mega_goldens()
 
 
 def test_golden_file_is_committed(golden):
@@ -72,3 +84,14 @@ def test_gpu_hours_match_exactly(golden, current):
         now = current["policies"][policy]
         assert now["provisioned_gpu_hours"] == frozen["provisioned_gpu_hours"]
         assert now["committed_gpu_hours"] == frozen["committed_gpu_hours"]
+
+
+def test_mega_smoke_collector_digest_matches_exactly(mega_golden, mega_current):
+    """The mega_scale-smoke pin: the batched-decision fast path must be
+    byte-identical on the scenario family it was built to accelerate."""
+    assert mega_current["overrides"] == mega_golden["overrides"]
+    for policy, frozen in mega_golden["policies"].items():
+        now = mega_current["policies"][policy]
+        assert now["collector_sha256"] == frozen["collector_sha256"], (
+            f"{policy}: mega-smoke serialized MetricsCollector drifted")
+        assert now["tasks_completed"] == frozen["tasks_completed"]
