@@ -27,6 +27,13 @@ feed the O(1) cluster aggregates:
 Updates use :mod:`bisect` on parallel key/host lists: O(log n) to locate plus
 a C-level ``memmove`` to splice — microseconds at 1000 hosts, far below the
 cost of the O(n log n) Python-key sorts the index replaces.
+
+``reindex`` — the hottest mutation (every committed/subscribed GPU delta
+lands here) — short-circuits the *zero-delta* case: when the new rank key
+equals the old and the idle flag did not flip, it returns after one key
+compare and one set-membership check, touching no list and running no
+bisect.  Idle-view membership is tracked in a set so the per-reindex flip
+check is O(1); the serial list is bisected only on an actual flip.
 """
 
 from __future__ import annotations
@@ -50,7 +57,8 @@ class HostIndex:
 
     __slots__ = ("_rank_keys", "_rank_hosts", "_entry_keys",
                  "_idle_serials", "_idle_hosts", "_idle_serial_of",
-                 "_next_serial", "_idle_buckets", "_hosts_by_id", "version")
+                 "_idle_ids", "_next_serial", "_idle_buckets",
+                 "_hosts_by_id", "version")
 
     def __init__(self) -> None:
         #: Monotonic change counter.  Every mutation entry point (``add``,
@@ -67,10 +75,12 @@ class HostIndex:
         self._rank_keys: List[RankKey] = []
         self._rank_hosts: List[Host] = []
         self._entry_keys: Dict[str, RankKey] = {}
-        # Parallel lists of is_idle hosts sorted by cluster-insertion serial.
+        # Parallel lists of is_idle hosts sorted by cluster-insertion serial,
+        # plus a membership set so the per-reindex flip check is O(1).
         self._idle_serials: List[int] = []
         self._idle_hosts: List[Host] = []
         self._idle_serial_of: Dict[str, int] = {}
+        self._idle_ids: set = set()
         self._next_serial = 0
         # idle-GPU count -> sorted host ids with exactly that count.
         self._idle_buckets: Dict[int, List[str]] = {}
@@ -104,6 +114,7 @@ class HostIndex:
             # New hosts carry the largest serial so far: append, stays sorted.
             self._idle_serials.append(serial)
             self._idle_hosts.append(host)
+            self._idle_ids.add(host_id)
         self._hosts_by_id[host_id] = host
         bucket = self._idle_buckets.setdefault(host.idle_gpus, [])
         insort(bucket, host_id)
@@ -119,47 +130,67 @@ class HostIndex:
         del self._rank_keys[position]
         del self._rank_hosts[position]
         serial = self._idle_serial_of.pop(host_id)
-        idle_position = bisect_left(self._idle_serials, serial)
-        if idle_position < len(self._idle_serials) \
-                and self._idle_serials[idle_position] == serial:
+        if host_id in self._idle_ids:
+            self._idle_ids.discard(host_id)
+            idle_position = bisect_left(self._idle_serials, serial)
             del self._idle_serials[idle_position]
             del self._idle_hosts[idle_position]
         del self._hosts_by_id[host_id]
         self._bucket_remove(-key[1], host_id)
 
     def reindex(self, host: Host) -> None:
-        """Re-file a host whose counters changed (no-op if not indexed)."""
+        """Re-file a host whose counters changed (no-op if not indexed).
+
+        A *zero-delta* reindex — same rank key, same idle flag — is O(1):
+        one key compare plus a set-membership check, no bisect, no list
+        touched (the version still bumps; see the contract above).  A key
+        move bisects to relocate and splices with ``del`` + ``insert``
+        (C-level memmoves); the idle flip check is served by the membership
+        set, bisecting the serial list only when the flag actually flipped.
+        Both paths file the host exactly where a from-scratch
+        ``sorted(..., key=rank_key)`` would (the hypothesis differentials in
+        tests/test_placement_index.py pin this against a scan rebuild).
+        """
         self.version += 1
         host_id = host.host_id
         old_key = self._entry_keys.get(host_id)
         if old_key is None:
             return
         new_key = rank_key(host)
-        if new_key != old_key:
-            position = bisect_left(self._rank_keys, old_key)
-            del self._rank_keys[position]
-            del self._rank_hosts[position]
-            position = bisect_left(self._rank_keys, new_key)
-            self._rank_keys.insert(position, new_key)
-            self._rank_hosts.insert(position, host)
+        # is_idle (no active training) can flip even when the rank key does
+        # not change back to a previously seen value, so track it separately.
+        indexed_idle = host_id in self._idle_ids
+        is_idle = host.is_idle
+        if new_key == old_key:
+            if is_idle == indexed_idle:
+                return  # zero-delta: nothing moved, nothing flipped.
+        else:
+            keys = self._rank_keys
+            hosts = self._rank_hosts
+            position = bisect_left(keys, old_key)
+            del keys[position]
+            del hosts[position]
+            position = bisect_left(keys, new_key)
+            keys.insert(position, new_key)
+            hosts.insert(position, host)
             self._entry_keys[host_id] = new_key
             old_idle, new_idle = -old_key[1], -new_key[1]
             if new_idle != old_idle:
                 self._bucket_remove(old_idle, host_id)
                 insort(self._idle_buckets.setdefault(new_idle, []), host_id)
-        # is_idle (no active training) can flip even when the rank key does
-        # not change back to a previously seen value, so check it directly.
-        serial = self._idle_serial_of[host_id]
-        position = bisect_left(self._idle_serials, serial)
-        indexed_idle = (position < len(self._idle_serials)
-                        and self._idle_serials[position] == serial)
-        if host.is_idle:
+        if is_idle:
             if not indexed_idle:
+                serial = self._idle_serial_of[host_id]
+                position = bisect_left(self._idle_serials, serial)
                 self._idle_serials.insert(position, serial)
                 self._idle_hosts.insert(position, host)
+                self._idle_ids.add(host_id)
         elif indexed_idle:
+            serial = self._idle_serial_of[host_id]
+            position = bisect_left(self._idle_serials, serial)
             del self._idle_serials[position]
             del self._idle_hosts[position]
+            self._idle_ids.discard(host_id)
 
     def _bucket_remove(self, idle: int, host_id: str) -> None:
         bucket = self._idle_buckets[idle]
@@ -191,6 +222,16 @@ class HostIndex:
             return len(self._rank_hosts)
         return sum(len(bucket) for idle, bucket in self._idle_buckets.items()
                    if idle >= min_idle)
+
+    def idle_gpu_histogram(self) -> Dict[int, int]:
+        """``{idle_gpu_count: active hosts with exactly that count}``.
+
+        Sorted by idle count so serializations are deterministic; the shard
+        barrier exchange ships this per epoch to build the merged global
+        cluster view without serializing any host objects.
+        """
+        return {idle: len(bucket)
+                for idle, bucket in sorted(self._idle_buckets.items())}
 
     def most_idle_host(self, min_idle: int) -> Optional[Host]:
         """The host maximizing ``(idle_gpus, host_id)`` with at least
@@ -244,6 +285,8 @@ class HostIndex:
             self._rank_hosts, key=lambda h: self._idle_serial_of[h.host_id])
             if h.is_idle]
         assert self._idle_hosts == expected_idle, "idle view out of sync"
+        assert self._idle_ids == {h.host_id for h in self._idle_hosts}, \
+            "idle membership set out of sync"
         buckets: Dict[int, List[str]] = {}
         for host in self._rank_hosts:
             buckets.setdefault(host.idle_gpus, []).append(host.host_id)

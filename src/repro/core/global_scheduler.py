@@ -180,6 +180,20 @@ class ClusterState:
             return 0.0
         return self._subscribed_gpus / (self._total_gpus * replication_factor)
 
+    def aggregate(self) -> Dict[str, int]:
+        """O(1) snapshot of the incremental totals (shard barrier frames).
+
+        Pure reads of already-maintained counters — taking a snapshot
+        schedules nothing and perturbs nothing, which is what lets the
+        shard runner ship one per epoch without touching determinism.
+        """
+        return {
+            "active_hosts": self._active_host_count,
+            "total_gpus": self._total_gpus,
+            "committed_gpus": self._committed_training_gpus,
+            "subscribed_gpus": self._subscribed_gpus,
+        }
+
 
 class GlobalScheduler:
     """Creates, routes to, migrates, and tears down distributed kernels."""
@@ -220,6 +234,12 @@ class GlobalScheduler:
         self.pending_scale_out = 0
         self.migrations_attempted = 0
         self.migrations_aborted = 0
+        # Set by the shard runner when this scheduler manages one shard of
+        # a space-partitioned run.  Placement-failure scale-outs then also
+        # note capacity pressure on it — pure accounting that rides the
+        # next barrier frame; admission decisions are unchanged, so the
+        # sharded run stays bit-identical to the serial reference.
+        self.shard_context = None
         # Per-instance counter so that repeated runs with the same seed
         # produce identical kernel ids (and therefore identical rng streams).
         self._kernel_counter = count(1)
@@ -246,6 +266,8 @@ class GlobalScheduler:
             # §3.4.2: a failed placement triggers scale-out; placement resumes
             # once the new servers have registered.
             deficit = replication - len(decision.hosts)
+            if self.shard_context is not None:
+                self.shard_context.note_pressure(max(1, deficit))
             yield from self.scale_out(
                 max(1, deficit), reason=f"placement failure for {kernel_id}")
             decision = self.placement.candidate_hosts(

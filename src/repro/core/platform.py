@@ -137,6 +137,15 @@ class NotebookOSPlatform:
         self.active_session_count = 0
         self.active_training_count = 0
         self._background_processes: List = []
+        # Set by the shard runner (repro.shard) when this platform simulates
+        # one shard of a space-partitioned run.  Anything with a
+        # ``stats_payload()`` method qualifies (duck-typed to keep the core
+        # free of shard imports); when set, finish_workload adds its payload
+        # under ``stats["shard"]`` in the RUN_END publish.
+        self.shard_context = None
+        # In-flight workload bookkeeping between begin_workload and
+        # finish_workload (None outside a run).
+        self._workload: Optional[dict] = None
 
     def _seat_metrics(self) -> None:
         """Seat the collector first on the bus (idempotent via detach)."""
@@ -174,7 +183,37 @@ class NotebookOSPlatform:
     # Workload replay.
     # ------------------------------------------------------------------
     def run_workload(self, trace: Trace, until: Optional[float] = None) -> ExperimentResult:
-        """Replay ``trace`` under this platform's policy and collect metrics."""
+        """Replay ``trace`` under this platform's policy and collect metrics.
+
+        Equivalent to ``begin_workload``; ``drain_workload``;
+        ``finish_workload`` — the same calls the shard runner makes, minus
+        the epoch-bounded ``step_workload_until`` stepping in between.  The
+        phases execute the identical operations in the identical order the
+        pre-split monolith did, so this path stays the frozen bit-identical
+        reference the golden digests pin.
+        """
+        self.begin_workload(trace, until=until)
+        try:
+            self.drain_workload()
+            return self.finish_workload()
+        finally:
+            # The run is over (or died): retire this collector from the bus
+            # so a shared bus reused for another platform cannot keep
+            # appending into this run's metrics.
+            self.detach_metrics()
+
+    def begin_workload(self, trace: Trace, until: Optional[float] = None) -> None:
+        """Start replaying ``trace``: seat metrics, publish RUN_START, and
+        launch the sampler/autoscaler/session processes — without running
+        the event loop.
+
+        After this call the caller owns the clock: either
+        :meth:`drain_workload` in one go (what :meth:`run_workload` does) or
+        repeated :meth:`step_workload_until` epochs followed by a drain.
+        ``until`` bounds the metrics sampler and the idle-tail fill exactly
+        as before; pass the *global* horizon when this platform simulates
+        one shard of a larger run so every shard samples the same windows.
+        """
         from repro.statesync.ast_analysis import ast_cache_stats
 
         started_wallclock = _wallclock.monotonic()
@@ -187,51 +226,105 @@ class NotebookOSPlatform:
         # run's teardown removed if this platform is driven twice.
         self.detach_metrics()
         self._seat_metrics()
-        try:
-            self.hooks.publish(RUN_START, self, trace)
-            horizon = until if until is not None else trace.duration
-            self.env.process(self._sampler_loop(horizon), name="metrics-sampler")
-            if self.policy.uses_autoscaler and self.config.autoscaler_enabled:
-                self.autoscaler.start()
-            session_processes = [
-                self.env.process(self._session_process(session),
-                                 name=f"session:{session.session_id}")
-                for session in trace]
-            if session_processes:
-                self.env.run(until=AllOf(self.env, session_processes))
-            if self.env.now < horizon:
-                self.env.run(until=horizon)
-            self._finalize_metrics()
-            result = ExperimentResult(policy=getattr(self.policy, "name", "unknown"),
-                                      trace_name=trace.name, collector=self.metrics,
-                                      wall_clock_runtime=_wallclock.monotonic() - started_wallclock,
-                                      breakdown=self.breakdown)
-            ast_hits, ast_misses = ast_cache_stats()
-            dispatch_after = self.env.dispatch_stats()
-            decisions_after = self.runstate.counters()
-            self.hooks.publish(RUN_END, self, result, {
-                "ast_cache_hits": ast_hits - ast_hits_before,
-                "ast_cache_misses": ast_misses - ast_misses_before,
-                # Policy-decision cache + admission-batching counters for
-                # this run (see repro.core.runstate); all zero when
-                # policy batching is disabled.
-                "decisions": {key: decisions_after[key] - decisions_before[key]
-                              for key in decisions_after},
-                # Engine dispatch counters for this run (see
-                # Environment.dispatch_stats); the repro.profiling
-                # subsystem folds these into its report.
-                "dispatch": {key: dispatch_after[key] - dispatch_before[key]
-                             for key in dispatch_after},
-                # Peak process memory (lifetime high-water mark, not
-                # run-scoped — getrusage cannot be reset).
-                "memory": memory_stats(),
-            })
-            return result
-        finally:
-            # The run is over (or died): retire this collector from the bus
-            # so a shared bus reused for another platform cannot keep
-            # appending into this run's metrics.
-            self.detach_metrics()
+        self.hooks.publish(RUN_START, self, trace)
+        horizon = until if until is not None else trace.duration
+        self.env.process(self._sampler_loop(horizon), name="metrics-sampler")
+        if self.policy.uses_autoscaler and self.config.autoscaler_enabled:
+            self.autoscaler.start()
+        session_processes = [
+            self.env.process(self._session_process(session),
+                             name=f"session:{session.session_id}")
+            for session in trace]
+        self._workload = {
+            "trace": trace,
+            "horizon": horizon,
+            "started_wallclock": started_wallclock,
+            "ast_before": (ast_hits_before, ast_misses_before),
+            "dispatch_before": dispatch_before,
+            "decisions_before": decisions_before,
+            "allof": (AllOf(self.env, session_processes)
+                      if session_processes else None),
+        }
+
+    def step_workload_until(self, time: float) -> int:
+        """Advance the in-flight workload to exactly ``time`` (one epoch).
+
+        Returns the number of events dispatched this epoch (the shard
+        barrier's progress signal).  Stepping to the horizon and then
+        calling :meth:`drain_workload` dispatches the exact event sequence
+        one unbounded drain would — the epoch bound is inclusive and never
+        splits a same-timestamp batch (see ``Environment.run_until``).
+        """
+        return self.env.run_until(time)
+
+    def drain_workload(self) -> None:
+        """Run the in-flight workload to completion (sessions + idle tail).
+
+        Safe after any number of ``step_workload_until`` epochs: an
+        already-finished session ``AllOf`` returns immediately, and the
+        horizon fill is skipped once the clock has reached it.
+        """
+        workload = self._workload
+        if workload is None:
+            raise RuntimeError("no workload in flight; call begin_workload")
+        allof = workload["allof"]
+        if allof is not None:
+            self.env.run(until=allof)
+        if self.env.now < workload["horizon"]:
+            self.env.run(until=workload["horizon"])
+
+    def finish_workload(self) -> ExperimentResult:
+        """Finalize metrics, publish RUN_END, and return the result.
+
+        Does *not* detach the collector from the bus — callers that own the
+        begin/step/drain sequence (the shard runner, :meth:`run_workload`)
+        do that in their own ``finally`` so a died run is torn down too.
+        """
+        workload = self._workload
+        if workload is None:
+            raise RuntimeError("no workload in flight; call begin_workload")
+        from repro.statesync.ast_analysis import ast_cache_stats
+
+        self._workload = None
+        trace = workload["trace"]
+        ast_hits_before, ast_misses_before = workload["ast_before"]
+        self._finalize_metrics()
+        result = ExperimentResult(policy=getattr(self.policy, "name", "unknown"),
+                                  trace_name=trace.name, collector=self.metrics,
+                                  wall_clock_runtime=(
+                                      _wallclock.monotonic()
+                                      - workload["started_wallclock"]),
+                                  breakdown=self.breakdown)
+        ast_hits, ast_misses = ast_cache_stats()
+        dispatch_after = self.env.dispatch_stats()
+        dispatch_before = workload["dispatch_before"]
+        decisions_after = self.runstate.counters()
+        decisions_before = workload["decisions_before"]
+        stats = {
+            "ast_cache_hits": ast_hits - ast_hits_before,
+            "ast_cache_misses": ast_misses - ast_misses_before,
+            # Policy-decision cache + admission-batching counters for
+            # this run (see repro.core.runstate); all zero when
+            # policy batching is disabled.
+            "decisions": {key: decisions_after[key] - decisions_before[key]
+                          for key in decisions_after},
+            # Engine dispatch counters for this run (see
+            # Environment.dispatch_stats); the repro.profiling
+            # subsystem folds these into its report.
+            "dispatch": {key: dispatch_after[key] - dispatch_before[key]
+                         for key in dispatch_after},
+            # Peak process memory (lifetime high-water mark, not
+            # run-scoped — getrusage cannot be reset).
+            "memory": memory_stats(),
+        }
+        if self.shard_context is not None:
+            # Per-shard dispatch/barrier counters (index, epochs, stall
+            # seconds, pressure); only present on sharded runs so the
+            # serial RUN_END payload — and everything golden-pinned
+            # downstream of it — is byte-identical to before.
+            stats["shard"] = self.shard_context.stats_payload()
+        self.hooks.publish(RUN_END, self, result, stats)
+        return result
 
     def _finalize_metrics(self) -> None:
         self.metrics.datastore_read_latencies = list(self.datastore.read_latencies)

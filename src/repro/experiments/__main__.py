@@ -123,6 +123,7 @@ def cmd_run(args) -> int:
 
 def cmd_profile(args) -> int:
     """Run one scenario with a :class:`repro.profiling.Profiler` attached."""
+    import json as _json
     from pathlib import Path
 
     from repro.api import Simulation
@@ -132,6 +133,31 @@ def cmd_profile(args) -> int:
     spec = scenario.instantiate(policy=args.policy, seed=args.seed,
                                 num_sessions=args.sessions,
                                 duration_hours=args.hours)
+    if args.shards > 1:
+        # Sharded run: one profiler per shard; each shard's report carries
+        # its own phase timings plus the barrier/dispatch shard counters.
+        from repro.shard import run_sharded
+
+        sharded = run_sharded(spec, args.shards, profile=True)
+        for payload in sharded.shard_payloads:
+            index = payload["shard"]["index"]
+            print(f"--- shard {index}/{args.shards} ---")
+            print(payload["profile_text"])
+        result = sharded.result
+        summary = result.summary()
+        print(f"\nmode={sharded.mode}  shards={sharded.num_shards}  "
+              f"barrier_stall={sharded.barrier_stall_s:.2f}s  "
+              f"tasks={summary['tasks_completed']}  "
+              f"interact_p50={_round(summary['interactivity_p50_s'])}s  "
+              f"tct_p50={_round(summary['tct_p50_s'])}s  "
+              f"migrations={summary['migrations']}")
+        if args.json:
+            document = {"shards": [payload["profile"]
+                                   for payload in sharded.shard_payloads]}
+            Path(args.json).write_text(
+                _json.dumps(document, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {args.json}")
+        return 0
     profiler = Profiler()
     result = Simulation.from_spec(spec).with_profiler(profiler).run()
     report = profiler.last
@@ -158,6 +184,42 @@ def cmd_telemetry(args) -> int:
     spec = scenario.instantiate(policy=args.policy, seed=args.seed,
                                 num_sessions=args.sessions,
                                 duration_hours=args.hours)
+    if args.shards > 1:
+        # Sharded run: one telemetry attachment per shard; print each
+        # shard's report (the windows cover the same global horizon).
+        import json as _json
+
+        from repro.shard import run_sharded
+        from repro.telemetry import TelemetryReport
+
+        sharded = run_sharded(
+            spec, args.shards, sketch=args.sketch,
+            telemetry_kwargs={"window_s": args.window, "spans": args.spans})
+        for payload in sharded.shard_payloads:
+            report = TelemetryReport.from_dict(payload["telemetry"])
+            if args.stream is not None and args.stream not in report.streams:
+                raise KeyError(
+                    f"unknown stream {args.stream!r} "
+                    f"(known: {', '.join(sorted(report.streams))})")
+            index = payload["shard"]["index"]
+            print(f"--- shard {index}/{args.shards} ---")
+            print(report.format(stream=args.stream))
+        print(f"mode={sharded.mode}  shards={sharded.num_shards}  "
+              f"barrier_stall={sharded.barrier_stall_s:.2f}s")
+        if args.json:
+            document = {"shards": [payload["telemetry"]
+                                   for payload in sharded.shard_payloads]}
+            Path(args.json).write_text(
+                _json.dumps(document, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {args.json}")
+        if args.store_artifact:
+            store = ResultStore(args.store_dir)
+            path = store.save_artifact(
+                spec, "telemetry",
+                {"shards": [payload["telemetry"]
+                            for payload in sharded.shard_payloads]})
+            print(f"stored telemetry artifact at {path}")
+        return 0
     telemetry = Telemetry(window_s=args.window, spans=args.spans)
     sim = Simulation.from_spec(spec).with_telemetry(telemetry)
     if args.sketch:
@@ -270,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="override the scenario's duration (hours)")
     p_profile.add_argument("--json", default=None,
                            help="also write the report as JSON to this path")
+    p_profile.add_argument("--shards", type=int, default=1,
+                           help="run space-sharded over K processes "
+                                "(see repro.shard; default 1 = serial)")
     p_profile.set_defaults(func=cmd_profile)
 
     p_tele = sub.add_parser(
@@ -297,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the telemetry report as JSON")
     p_tele.add_argument("--store-artifact", action="store_true",
                         help="persist the report as a result-store artifact")
+    p_tele.add_argument("--shards", type=int, default=1,
+                        help="run space-sharded over K processes "
+                             "(see repro.shard; default 1 = serial)")
     add_store_args(p_tele)
     p_tele.set_defaults(func=cmd_telemetry)
 

@@ -255,10 +255,59 @@ def _mega_scale_configs(spec: ScenarioSpec, trace: Trace):
             mega_scale_cluster_config(spec.policy, trace))
 
 
+def giga_scale_platform_config() -> PlatformConfig:
+    """Platform configuration for the ~10000-host scenario.
+
+    Same relaxed control loops as ``mega_scale`` — at 50k sessions the
+    workload dominates entirely; the scenario exists to exercise the
+    sharded runner (:mod:`repro.shard`), and an order-of-magnitude larger
+    fleet with tighter loops would just multiply bookkeeping noise.
+    """
+    return PlatformConfig(
+        metrics_sample_interval_s=600.0,
+        autoscaler_interval_s=600.0,
+        prewarm_policy=PrewarmPolicy(initial_per_host=1, min_per_host=1,
+                                     replenish_interval=7200.0))
+
+
+def giga_scale_cluster_config(policy: str, trace: Trace) -> ClusterConfig:
+    """Size a ~10000-host cluster to the trace's peak GPU demand.
+
+    Same shape as ``mega_scale``: oversubscribing policies start at
+    peak/1.5 (the full 50k-session trace peaks high enough for several
+    thousand initial 8-GPU hosts) with scale-out headroom toward fully
+    provisioned peak.  The floor deliberately stays at 400 rather than
+    scaling with the scenario: under the sharded runner each shard
+    resolves this preset against its *sub-trace*, and a scenario-sized
+    floor would give every shard the full fleet instead of ~1/K of it.
+    """
+    events = []
+    for session in trace:
+        events.append((session.start_time, session.gpus_requested))
+        events.append((session.end_time, -session.gpus_requested))
+    peak = current = 0
+    for _, delta in sorted(events):
+        current += delta
+        peak = max(peak, current)
+    gpus_per_host = 8
+    if policy in ("notebookos", "lcp"):
+        initial = max(400, peak // 12)
+    else:
+        initial = max(400, peak // gpus_per_host + 8)
+    return ClusterConfig(initial_hosts=initial,
+                         max_hosts=max(initial + 64, peak // gpus_per_host + 64))
+
+
+def _giga_scale_configs(spec: ScenarioSpec, trace: Trace):
+    return (giga_scale_platform_config(),
+            giga_scale_cluster_config(spec.policy, trace))
+
+
 register_config_preset("default", _default_configs)
 register_config_preset("long_run", _long_run_configs)
 register_config_preset("cluster_scale", _cluster_scale_configs)
 register_config_preset("mega_scale", _mega_scale_configs)
+register_config_preset("giga_scale", _giga_scale_configs)
 
 
 # ----------------------------------------------------------------------
@@ -337,6 +386,8 @@ CLUSTER_SCALE_SESSIONS = 2000  # thousands of sessions on hundreds of hosts
 CLUSTER_SCALE_HOURS = 6.0
 MEGA_SCALE_SESSIONS = 5000     # placement stress: ~1000 hosts (bench_placement.py)
 MEGA_SCALE_HOURS = 8.0
+GIGA_SCALE_SESSIONS = 50000    # sharded-runner stress: ~10000 hosts (bench_giga.py)
+GIGA_SCALE_HOURS = 8.0
 
 _DEFAULT_REGISTRY: Optional[ScenarioRegistry] = None
 
@@ -391,5 +442,17 @@ def default_registry() -> ScenarioRegistry:
                               "work_bout_hours": 1.5,
                               "bouts_per_day": 3.0},
             config_preset="mega_scale"))
+        registry.register(Scenario(
+            name="giga_scale",
+            description=f"{GIGA_SCALE_SESSIONS} sessions over "
+                        f"{GIGA_SCALE_HOURS:g} hours on ~10000 hosts — "
+                        "space-sharded runner stress test (see "
+                        "bench_giga.py; run in sketch mode)",
+            generator="adobe", default_seed=11,
+            generator_kwargs={"num_sessions": GIGA_SCALE_SESSIONS,
+                              "duration_hours": GIGA_SCALE_HOURS,
+                              "work_bout_hours": 1.5,
+                              "bouts_per_day": 3.0},
+            config_preset="giga_scale"))
         _DEFAULT_REGISTRY = registry
     return _DEFAULT_REGISTRY

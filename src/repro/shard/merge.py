@@ -1,0 +1,178 @@
+"""Merge K per-shard experiment results into one global result.
+
+Every combinator here is a *pure, order-stable function of the shard
+results in shard index order*:
+
+* task records and platform events are k-way merged by time with shard
+  index as the tie-break (``heapq.merge`` is stable: equal keys yield the
+  earlier iterable — i.e. the lower shard — first);
+* cluster timelines are summed as step functions over the union of sample
+  times (a series contributes 0 before its first sample), except
+  ``subscription_ratio``, an intensive quantity, which is merged as the
+  ``provisioned_hosts``-weighted mean — the value a fleet-wide scan of all
+  shards' hosts would produce on a homogeneous fleet;
+* latency sample lists concatenate in shard order, counters sum, and
+  sketch-mode quantile sketches fold centroid-by-centroid in shard order.
+
+Because the inputs are per-shard results (identical in the serial and
+parallel execution modes) and the combinators never consult anything else,
+the merged collector — and therefore its digest — is byte-identical across
+modes and across repeated runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.timeline import Timeline
+from repro.metrics.collector import (
+    ExperimentResult,
+    MetricsCollector,
+    PlatformEvent,
+)
+from repro.metrics.latency_breakdown import LatencyBreakdown
+
+__all__ = ["merge_results", "merge_collectors",
+           "merge_timelines_sum", "merge_timelines_weighted_mean"]
+
+
+def _union_times(timelines: Sequence[Timeline]) -> List[float]:
+    times = set()
+    for timeline in timelines:
+        times.update(t for t, _ in timeline.points)
+    return sorted(times)
+
+
+def _step_walkers(timelines: Sequence[Timeline]):
+    """Per-timeline cursors yielding the step-function value at each probe
+    time (probe times must be nondecreasing)."""
+    states = [{"points": tl.points, "pos": 0, "value": 0.0}
+              for tl in timelines]
+
+    def value_at(state, time):
+        points = state["points"]
+        pos = state["pos"]
+        while pos < len(points) and points[pos][0] <= time:
+            state["value"] = points[pos][1]
+            pos += 1
+        state["pos"] = pos
+        return state["value"]
+
+    return states, value_at
+
+
+def merge_timelines_sum(name: str,
+                        timelines: Sequence[Timeline]) -> Timeline:
+    """Pointwise sum of step functions over the union of sample times."""
+    merged = Timeline(name)
+    states, value_at = _step_walkers(timelines)
+    for time in _union_times(timelines):
+        merged.record(time, sum(value_at(s, time) for s in states))
+    return merged
+
+
+def merge_timelines_weighted_mean(name: str, values: Sequence[Timeline],
+                                  weights: Sequence[Timeline]) -> Timeline:
+    """Weight-averaged merge for intensive quantities (e.g. SR).
+
+    ``weights[i]`` supplies shard i's weight series (its provisioned host
+    count); a shard with zero weight at a time contributes nothing there.
+    Falls back to the unweighted mean when every weight is zero.
+    """
+    merged = Timeline(name)
+    value_states, value_at = _step_walkers(values)
+    weight_states, weight_at = _step_walkers(weights)
+    for time in _union_times(values):
+        total = weighted = 0.0
+        samples = []
+        for vstate, wstate in zip(value_states, weight_states):
+            v = value_at(vstate, time)
+            w = weight_at(wstate, time)
+            samples.append(v)
+            total += w
+            weighted += v * w
+        if total > 0:
+            merged.record(time, weighted / total)
+        else:
+            merged.record(time, sum(samples) / len(samples)
+                          if samples else 0.0)
+    return merged
+
+
+def merge_collectors(collectors: Sequence[MetricsCollector]) -> MetricsCollector:
+    """Merge per-shard collectors (shard index order) into one."""
+    if not collectors:
+        raise ValueError("cannot merge zero collectors")
+    modes = {c.sketch_mode for c in collectors}
+    if len(modes) != 1:
+        raise ValueError("cannot merge mixed exact/sketch collectors")
+    first = collectors[0]
+    merged = MetricsCollector(sample_interval=first.sample_interval,
+                              sketch_mode=first.sketch_mode,
+                              sketch_compression=first.sketch_compression)
+
+    # Task records: k-way time merge, shard order breaking ties (heapq.merge
+    # is stable across its input iterables).
+    merged.tasks = list(heapq.merge(
+        *[c.tasks for c in collectors], key=lambda t: t.submitted_at))
+    # Events likewise; replayed through record_event so the per-kind index
+    # stays consistent.
+    for event in heapq.merge(*[c.events for c in collectors],
+                             key=lambda e: e.time):
+        merged.record_event(event.time, event.kind, event.detail)
+
+    weights = [c.provisioned_hosts for c in collectors]
+    for name in MetricsCollector._TIMELINE_FIELDS:
+        series = [getattr(c, name) for c in collectors]
+        if name == "subscription_ratio":
+            setattr(merged, name,
+                    merge_timelines_weighted_mean(name, series, weights))
+        else:
+            setattr(merged, name, merge_timelines_sum(name, series))
+
+    for name in ("datastore_read_latencies", "datastore_write_latencies",
+                 "raft_sync_latencies"):
+        combined: List[float] = []
+        for collector in collectors:
+            combined.extend(getattr(collector, name))
+        setattr(merged, name, combined)
+
+    for name in ("gpu_bind_count", "immediate_gpu_commit_count",
+                 "same_executor_count", "executor_decisions"):
+        setattr(merged, name, sum(getattr(c, name) for c in collectors))
+
+    if merged.sketch_mode:
+        merged.sketch_task_count = sum(c.sketch_task_count
+                                       for c in collectors)
+        merged.sketch_completed_tasks = sum(c.sketch_completed_tasks
+                                            for c in collectors)
+        for collector in collectors:
+            merged.interactivity_sketch.merge(collector.interactivity_sketch)
+            merged.tct_sketch.merge(collector.tct_sketch)
+    return merged
+
+
+def merge_results(results: Sequence[ExperimentResult], trace_name: str,
+                  wall_clock_runtime: float = 0.0) -> ExperimentResult:
+    """Merge per-shard results (shard index order) into the global result.
+
+    ``trace_name`` restores the parent trace's name (shard results carry
+    ``name[shard i/K]`` variants); ``wall_clock_runtime`` is the
+    coordinator's end-to-end measurement — per-shard wall clocks overlap
+    under parallel execution, so summing them would be meaningless.
+    """
+    if not results:
+        raise ValueError("cannot merge zero results")
+    policies = {r.policy for r in results}
+    if len(policies) != 1:
+        raise ValueError(f"cannot merge results across policies: {policies}")
+    breakdown = None
+    if all(r.breakdown is not None for r in results):
+        breakdown = LatencyBreakdown(policy=results[0].breakdown.policy)
+        for result in results:
+            breakdown.samples.extend(result.breakdown.samples)
+    return ExperimentResult(
+        policy=results[0].policy, trace_name=trace_name,
+        collector=merge_collectors([r.collector for r in results]),
+        wall_clock_runtime=wall_clock_runtime, breakdown=breakdown)

@@ -1015,6 +1015,22 @@ class Environment:
             self._now = limit
         return None
 
+    def run_until(self, time: float) -> int:
+        """Epoch-bounded stepping: advance the clock to exactly ``time``.
+
+        A resumable alternative to ``run(until=time)`` for callers that
+        drive the simulation in fixed epochs (the shard runner steps every
+        shard to the same barrier time with it).  Events scheduled at
+        exactly ``time`` are dispatched *in this epoch* — the bound is
+        inclusive and a same-timestamp batch is never split across a
+        boundary — so repeated ``run_until`` calls partition the timeline
+        exactly like one unbounded run.  Returns the number of events
+        dispatched, the per-epoch progress signal the barrier frames carry.
+        """
+        before = self._stat_disp
+        self.run(until=time)
+        return self._stat_disp - before
+
     def _run_until_event(self, until: Event) -> Any:
         if until._callbacks is _PROCESSED:  # noqa: SLF001 - fast path
             return until.value

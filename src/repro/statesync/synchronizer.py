@@ -91,13 +91,20 @@ class StateSynchronizer:
         self._rng = rng or SeededRandom(hash(kernel_id) & 0x7FFFFFFF)
         self.sync_latencies: List[float] = []
         self.reports: List[SyncReport] = []
-        # code -> (namespace list object, touched, small, large).  An entry
-        # is valid only while the caller passes the *same* namespace list
-        # object (identity check): the kernel-level namespace memo in
-        # repro.core.runstate returns a stable list, so repeated executions
-        # of the same cell skip the filter/partition scans.  Without that
-        # memo each call passes a fresh list and this cache just recomputes
-        # — same result either way (the partition is deterministic).
+        # code -> full sync plan: (namespace list object, small, large,
+        # sorted small names, sorted large names, small bytes, large bytes).
+        # An entry is valid only while the caller passes the *same*
+        # namespace list object (identity check): the kernel-level namespace
+        # memo in repro.core.runstate returns a stable list, so repeated
+        # executions of the same cell skip the filter/partition scans AND
+        # the per-call name sorts + byte sums — the Raft command tuple and
+        # the report byte counts come straight from the plan.  The cache key
+        # is the same source text the content-keyed AST memo
+        # (repro.statesync.ast_analysis.analyze_code) is keyed on, so a hit
+        # here pairs with a hit there and the whole decision batch for a
+        # checkpoint round is O(1) per call.  Without the namespace memo
+        # each call passes a fresh list and this cache just recomputes —
+        # same result either way (the partition is deterministic).
         self._partition_cache: dict = {}
 
     def synchronize(self, code: str, namespace_objects: Sequence[NamespaceObject],
@@ -111,7 +118,8 @@ class StateSynchronizer:
         analysis = analyze_code(code)
         cached = self._partition_cache.get(code)
         if cached is not None and cached[0] is namespace_objects:
-            _, small, large = cached
+            (_, small, large, small_names, large_names,
+             small_bytes, large_bytes) = cached
         else:
             touched_names = analysis.names_to_replicate
             touched = [obj for obj in namespace_objects
@@ -120,21 +128,25 @@ class StateSynchronizer:
                      if obj.object_class == ObjectClass.SMALL]
             large = [obj for obj in touched
                      if obj.object_class == ObjectClass.LARGE]
-            self._partition_cache[code] = (namespace_objects, small, large)
+            small_names = tuple(sorted(obj.name for obj in small))
+            large_names = tuple(sorted(obj.name for obj in large))
+            small_bytes = sum(obj.size_bytes for obj in small)
+            large_bytes = sum(obj.size_bytes for obj in large)
+            self._partition_cache[code] = (
+                namespace_objects, small, large,
+                small_names, large_names, small_bytes, large_bytes)
         report = SyncReport(analysis=analysis, small_objects=small, large_objects=large)
 
         # Step 1: AST + small state through the Raft log.
         if analysis.touches_state:
             start = self.env.now
-            command = ("sync_state", executor_replica,
-                       tuple(sorted(obj.name for obj in small)),
-                       tuple(sorted(obj.name for obj in large)))
+            command = ("sync_state", executor_replica, small_names, large_names)
             if self.raft_cluster is not None:
                 yield self.raft_cluster.propose(command, via=None)
             else:
                 yield self.latency_model.sample(self._rng)
             report.raft_sync_latency = self.env.now - start
-            report.bytes_via_raft = sum(obj.size_bytes for obj in small)
+            report.bytes_via_raft = small_bytes
             self.sync_latencies.append(report.raft_sync_latency)
 
         # Step 2: large objects to the distributed data store (pointers only
@@ -144,7 +156,7 @@ class StateSynchronizer:
             yield from self.checkpoint_manager.checkpoint_all(
                 large, node_id=node_id)
             report.checkpoint_latency = self.env.now - start
-            report.bytes_via_datastore = sum(obj.size_bytes for obj in large)
+            report.bytes_via_datastore = large_bytes
 
         self.reports.append(report)
         return report

@@ -1,5 +1,7 @@
 """Unit tests for AST analysis, object classification, checkpointing, and sync."""
 
+import keyword
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -139,7 +141,8 @@ def test_realistic_training_cell():
 
 
 @settings(max_examples=30, deadline=None)
-@given(name=st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True),
+@given(name=st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True)
+       .filter(lambda s: not keyword.iskeyword(s)),
        value=st.integers(min_value=0, max_value=10**6))
 def test_any_simple_assignment_is_detected_property(name, value):
     analysis = analyze_code(f"{name} = {value}")
@@ -286,6 +289,72 @@ def test_synchronize_splits_small_and_large_state():
     assert report.checkpoint_latency > 0
     assert manager.checkpoints_written == 1
     assert synchronizer.sync_latencies
+
+
+def test_sync_plan_cache_hit_matches_cold_walk():
+    """A warm sync-plan replay is identical to the cold partition walk.
+
+    The plan cache keys on (code, namespace list identity); a hit must
+    reproduce the same object partition, the same sorted-name Raft command,
+    and the same byte totals the cold path computed — the bit-identity
+    contract the golden digests pin end to end.
+    """
+    env, synchronizer, manager = make_synchronizer()
+    code = "model = train(model, dataset)\nlr = 0.01\nhistory.append(lr)"
+
+    def run():
+        cold = yield env.process(synchronizer.synchronize(
+            code, NAMESPACE, executor_replica="replica-1", node_id="replica-1"))
+        warm = yield env.process(synchronizer.synchronize(
+            code, NAMESPACE, executor_replica="replica-1", node_id="replica-1"))
+        return cold, warm
+
+    cold, warm = env.run(until=env.process(run()))
+    # The plan objects themselves are shared (no re-walk) ...
+    assert warm.small_objects is cold.small_objects
+    assert warm.large_objects is cold.large_objects
+    # ... and every derived quantity matches the cold computation.
+    assert warm.bytes_via_raft == cold.bytes_via_raft == 32 + 2048
+    assert warm.bytes_via_datastore == cold.bytes_via_datastore \
+        == 300 * 1024 ** 2
+    assert manager.checkpoints_written == 2
+    # A different namespace list object invalidates the plan (identity key).
+    reordered = list(NAMESPACE)
+
+    def rerun():
+        report = yield env.process(synchronizer.synchronize(
+            code, reordered, executor_replica="replica-1", node_id="replica-1"))
+        return report
+
+    fresh = env.run(until=env.process(rerun()))
+    assert fresh.small_objects is not cold.small_objects
+    assert [o.name for o in fresh.small_objects] \
+        == [o.name for o in cold.small_objects]
+    assert fresh.bytes_via_raft == cold.bytes_via_raft
+
+
+def test_sync_plan_cache_command_is_bit_identical_over_raft():
+    """Warm-plan Raft commands equal the cold command tuple exactly."""
+    env, synchronizer, _manager = make_synchronizer(raft=True)
+    env.run(until=2.0)  # allow leader election
+
+    def run():
+        yield env.process(synchronizer.synchronize(
+            "lr = 0.1\nhistory.append(lr)", NAMESPACE,
+            executor_replica="replica-1"))
+        yield env.process(synchronizer.synchronize(
+            "lr = 0.1\nhistory.append(lr)", NAMESPACE,
+            executor_replica="replica-1"))
+
+    env.run(until=env.process(run()))
+    env.run(until=env.now + 1.0)
+    leader = synchronizer.raft_cluster.member_ids[0]
+    commands = [c for c in synchronizer.raft_cluster.committed_commands(leader)
+                if isinstance(c, tuple) and c and c[0] == "sync_state"]
+    assert len(commands) == 2
+    assert commands[0] == commands[1]
+    assert commands[0] == ("sync_state", "replica-1",
+                           ("history", "lr"), ())
 
 
 def test_synchronize_pure_read_cell_is_noop():
