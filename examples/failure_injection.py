@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
 """Inject host failures mid-run and watch the platform heal itself.
 
-A *chaos process* runs alongside the workload: every few simulated minutes
-it picks a random active GPU server, fails every kernel replica hosted
-there (§3.2.5 — each is recreated from persisted state on another host via
-the Global Scheduler's placement path), and decommissions the dead server.
-The auto-scaler then provisions replacements as demand requires.  Because
-replica recreation rides the same batched request path as kernel creation,
-this exercises the fused replica-start chains under churn.
+The failure storm is a first-class platform feature: setting
+:attr:`PlatformConfig.host_failure_interval_s` spawns
+:func:`repro.core.chaos.chaos_process` alongside the workload.  Every few
+simulated minutes it picks a random active GPU server (from the platform's
+own seeded ``"chaos"`` substream, so the victim sequence is a pure function
+of the run seed), fails every kernel replica hosted there (§3.2.5 — each is
+recreated from persisted state on another host via the Global Scheduler's
+placement path), and decommissions the dead server.  The auto-scaler then
+provisions replacements as demand requires.  Because replica recreation
+rides the same batched request path as kernel creation, this exercises the
+fused replica-start chains under churn.
 
 Everything observable arrives through the ``repro.api`` lifecycle
 :class:`~repro.api.HookBus` — placement decisions, scale events, and the
-discrete ``replica_failure`` platform events — with zero effect on the
-simulated timeline; the final consistency checks pin the hook counts
-against the metrics collector.
+discrete ``replica_failure`` platform events — plus the platform's
+``chaos_log`` of executed failures; the final consistency checks pin the
+hook counts against the metrics collector.
+
+The same stressor is registered as the ``failure_storm`` scenario::
+
+    python -m repro.experiments run failure_storm
 
 Run with::
 
@@ -53,35 +61,6 @@ def build_steady_trace(num_sessions: int = 8, hours: float = 2.0) -> Trace:
     return Trace(name="failure-injection", sessions=sessions)
 
 
-def chaos_process(platform, log):
-    """Simulation process: periodically fail one random active host."""
-    env = platform.env
-    scheduler = platform.global_scheduler
-    rng = platform.rng.substream("chaos")
-    while True:
-        yield FAILURE_INTERVAL_S
-        cluster = platform.cluster
-        active = cluster.active_hosts
-        if len(active) <= MIN_SURVIVING_HOSTS:
-            continue
-        victim = rng.choice(sorted(active, key=lambda h: h.host_id))
-        local = cluster.scheduler_for(victim.host_id)
-        doomed = [(kernel, replica)
-                  for replica in list(local.replicas.values())
-                  for kernel in [scheduler.kernels.get(replica.kernel_id)]
-                  if kernel is not None]
-        log.append((env.now, victim.host_id, len(doomed)))
-        # Fail every hosted replica; each is recreated elsewhere from its
-        # persisted state through the normal placement machinery.
-        for kernel, replica in doomed:
-            yield from scheduler.handle_replica_failure(kernel, replica)
-        # The drained server goes away; the auto-scaler will backfill.
-        victim.decommission(env.now)
-        yield from local.decommission()
-        platform.provisioner.release(victim)
-        cluster.remove_host(victim.host_id)
-
-
 def main() -> None:
     trace = build_steady_trace()
     counts = {"placements": 0, "scale_out_hosts": 0, "scale_in_hosts": 0,
@@ -97,7 +76,10 @@ def main() -> None:
         .with_seed(11)
         .with_config(
             cluster_config=ClusterConfig(initial_hosts=4, max_hosts=10),
-            platform_config=PlatformConfig(autoscaler_interval_s=120.0))
+            platform_config=PlatformConfig(
+                autoscaler_interval_s=120.0,
+                host_failure_interval_s=FAILURE_INTERVAL_S,
+                min_surviving_hosts=MIN_SURVIVING_HOSTS))
         .on(PLACEMENT_DECISION,
             lambda t, kernel_id, decision:
             counts.__setitem__("placements", counts["placements"] + 1))
@@ -111,10 +93,9 @@ def main() -> None:
                                counts["scale_in_hosts"] + hosts))
         .on(PLATFORM_EVENT, on_platform_event))
 
-    failures = []
     platform = simulation.build(trace)
-    platform.spawn_background(chaos_process(platform, failures))
     result = platform.run_workload(trace)
+    failures = platform.chaos_log
 
     collector = result.collector
     print(f"Sessions: {len(trace)}, tasks completed: "
@@ -133,8 +114,14 @@ def main() -> None:
     recorded = len(collector.events_of_kind(EventKind.REPLICA_FAILURE))
     assert counts["replica_failures"] == recorded, \
         f"hook saw {counts['replica_failures']} failures, collector {recorded}"
-    assert counts["replica_failures"] == sum(n for _, _, n in failures), \
-        "every doomed replica must surface as a replica_failure event"
+    # Every handled replica surfaces as a replica_failure event.  The last
+    # storm round can be cut short when the workload drains mid-recovery, so
+    # the hook count may trail the log by at most that round's replicas.
+    doomed_total = sum(n for _, _, n in failures)
+    last_round = failures[-1][2] if failures else 0
+    assert doomed_total - last_round <= counts["replica_failures"] <= doomed_total, \
+        (f"hook saw {counts['replica_failures']} replica failures, chaos log "
+         f"doomed {doomed_total} (last round {last_round})")
     assert len(collector.completed_tasks()) == trace.total_task_count, \
         "the platform must finish the workload despite the injected failures"
     print("\nConsistency checks passed: hook counts match the collector, and "

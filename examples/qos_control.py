@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Close the loop: a QoS target that fights a host-failure storm.
+
+The ``failure_storm`` scenario runs the ``cluster_scale`` workload shape on
+a deliberately tight cluster while a chaos process kills one random GPU
+server every 10 simulated minutes.  This example attaches the
+``repro.qos`` control plane with a single declarative target —
+
+    p99 interactivity over 300 s windows must stay below 60 s
+
+— wired to the ``autoscaler_override`` action: on breach, the controller
+raises the auto-scaler's minimum-host floor by two hosts and freezes
+scale-in for 15 simulated minutes, so backfill outruns the storm.
+
+Everything the controller does is observable through three lifecycle hook
+topics (``qos_breach``, ``qos_action``, ``qos_recover``) and the
+``RUN_END`` ``stats["qos"]`` summary; this example prints the full
+breach/action/recovery timeline and checks that the loop actually closed —
+at least one breach led to an action led to a recovery.
+
+Run with::
+
+    python examples/qos_control.py
+"""
+
+from repro.api import (
+    QOS_ACTION,
+    QOS_BREACH,
+    QOS_RECOVER,
+    RUN_END,
+    Simulation,
+)
+
+TARGET = "interactivity:p99>60:autoscaler_override,extra_hosts=2,hold_s=900"
+WINDOW_S = 300.0
+
+
+def main() -> None:
+    timeline = []
+    qos_stats = {}
+
+    def on_breach(time, name, detail):
+        timeline.append((time, "breach", name, detail))
+
+    def on_action(time, name, action, detail):
+        timeline.append((time, "action", f"{name} -> {action}", detail))
+
+    def on_recover(time, name, detail):
+        timeline.append((time, "recover", name, detail))
+
+    simulation = (
+        Simulation.from_scenario("failure_storm")
+        .with_qos(TARGET, window_s=WINDOW_S)
+        .on(QOS_BREACH, on_breach)
+        .on(QOS_ACTION, on_action)
+        .on(QOS_RECOVER, on_recover)
+        .on(RUN_END, lambda p, r, stats: qos_stats.update(stats.get("qos", {}))))
+    result = simulation.run()
+    platform = simulation.platform
+
+    summary = result.summary()
+    print(f"failure_storm under QoS control "
+          f"(target: {TARGET.split(':', 1)[0]} p99 < 60s)")
+    print(f"tasks completed : {summary['tasks_completed']}")
+    print(f"interact p50    : {summary['interactivity_p50_s']:.2f}s")
+    print(f"host failures   : {len(platform.chaos_log)} "
+          f"(final cluster: {platform.cluster.active_host_count} hosts)")
+
+    print(f"\nControl-loop timeline ({len(timeline)} events):")
+    for time, kind, what, detail in timeline:
+        extra = ""
+        if "value" in detail:
+            extra = (f"  {detail['stat']}={detail['value']:.2f} "
+                     f"(threshold {detail['threshold']:g})")
+        print(f"  t={time / 60.0:6.1f} min  {kind:<7} {what}{extra}")
+
+    print("\nPer-target summary:")
+    for name, entry in sorted(qos_stats.get("targets", {}).items()):
+        print(f"  {name}: breaches={entry['breaches']} "
+              f"recoveries={entry['recoveries']} "
+              f"actions={entry['actions_fired']} ({entry['action']}) "
+              f"final={entry['final_state']}")
+
+    # The loop must demonstrably close: breach -> action -> recovery, in
+    # that order, all present both on the hook bus and in stats["qos"].
+    kinds = [kind for _, kind, _, _ in timeline]
+    assert "breach" in kinds, "the storm must breach the target at least once"
+    assert "action" in kinds, "every breach must fire the configured action"
+    assert "recover" in kinds, "the mitigation must bring the target back"
+    assert kinds.index("breach") < kinds.index("action") < kinds.index("recover"), \
+        "the loop must close in breach -> action -> recover order"
+    target_stats = next(iter(qos_stats["targets"].values()))
+    assert target_stats["breaches"] >= 1
+    assert target_stats["actions_fired"] >= 1
+    assert target_stats["recoveries"] >= 1
+    assert len(qos_stats["timeline"]) == len(timeline), \
+        "stats timeline and hook timeline must agree"
+    print("\nLoop closed: breach -> action -> recovery, with the hook "
+          "timeline and RUN_END stats in agreement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,9 @@ from repro.api.hooks import (
     MIGRATION,
     PLACEMENT_DECISION,
     PLATFORM_EVENT,
+    QOS_ACTION,
+    QOS_BREACH,
+    QOS_RECOVER,
     RUN_END,
     RUN_START,
     SCALE_IN,
@@ -73,6 +76,9 @@ __all__ = [
     "MIGRATION",
     "PLACEMENT_DECISION",
     "PLATFORM_EVENT",
+    "QOS_ACTION",
+    "QOS_BREACH",
+    "QOS_RECOVER",
     "RUN_END",
     "RUN_START",
     "SCALE_IN",
@@ -91,6 +97,9 @@ __all__ = [
     "UnknownPolicyError",
     "default_policy_registry",
     "register_policy",
+    # qos
+    "QosConfig",
+    "QosTarget",
     # runs
     "RunSpec",
     "Simulation",
@@ -109,6 +118,8 @@ __all__ = [
 ]
 
 _LAZY_EXPORTS = {
+    "QosConfig": ("repro.qos.targets", "QosConfig"),
+    "QosTarget": ("repro.qos.targets", "QosTarget"),
     "RunSpec": ("repro.api.spec", "RunSpec"),
     "Simulation": ("repro.api.simulation", "Simulation"),
     "default_cluster_config": ("repro.api.simulation", "default_cluster_config"),

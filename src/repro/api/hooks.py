@@ -34,6 +34,13 @@ topic                  payload
 ``PLATFORM_EVENT``     ``(time, kind, detail)`` — every discrete
                        :class:`~repro.metrics.collector.EventKind` record;
                        this is the topic the metrics collector subscribes to
+``QOS_BREACH``         ``(time, target, detail)`` — a QoS target entered its
+                       breached state (``target`` is the target name,
+                       ``detail`` a plain dict; see :mod:`repro.qos`)
+``QOS_RECOVER``        ``(time, target, detail)`` — a breached QoS target
+                       recovered through its hysteresis band
+``QOS_ACTION``         ``(time, target, action, detail)`` — a QoS controller
+                       fired a mitigation action
 =====================  ====================================================
 
 Example — count migrations without touching core code::
@@ -63,11 +70,15 @@ MIGRATION = "migration"
 SCALE_OUT = "scale_out"
 SCALE_IN = "scale_in"
 PLATFORM_EVENT = "platform_event"
+QOS_BREACH = "qos_breach"
+QOS_RECOVER = "qos_recover"
+QOS_ACTION = "qos_action"
 
 #: Every topic the platform publishes, in documentation order.
 TOPICS = (RUN_START, RUN_END, SESSION_START, SESSION_END, TASK_SUBMIT,
           TASK_COMPLETE, PLACEMENT_DECISION, CHECKPOINT, MIGRATION,
-          SCALE_OUT, SCALE_IN, PLATFORM_EVENT)
+          SCALE_OUT, SCALE_IN, PLATFORM_EVENT, QOS_BREACH, QOS_RECOVER,
+          QOS_ACTION)
 
 HookCallback = Callable[..., None]
 

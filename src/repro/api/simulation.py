@@ -98,6 +98,7 @@ class Simulation:
         self._sketch_mode = False
         self._sketch_compression = 300
         self._policy_batching: Optional[bool] = None
+        self._qos: Optional[Dict[str, object]] = None
         self._store = None
         #: The wired platform of the most recent ``run()`` / ``build()`` —
         #: ``None`` until then, and still ``None`` after a ``run()`` that was
@@ -287,6 +288,35 @@ class Simulation:
         self._policy_batching = bool(enabled)
         return self
 
+    def with_qos(self, *targets, window_s: float = 300.0) -> "Simulation":
+        """Enable the closed-loop QoS control plane for this run.
+
+        ``targets`` are :class:`~repro.qos.targets.QosTarget` objects, their
+        dict forms, or CLI-shorthand strings
+        (``"interactivity:p99>120:migrate_hottest"``); alternatively pass a
+        single :class:`~repro.qos.targets.QosConfig` (or its dict form).
+        ``window_s`` sets the controller's evaluation window.
+
+        The block is recorded on the spec (``RunSpec.qos``) for spec-backed
+        runs — it participates in the content hash and sweeps like
+        ``policy_kwargs``, so the run stays storable — and applied as a
+        config override for ad-hoc trace runs.
+        """
+        from repro.qos.targets import QosConfig
+
+        if len(targets) == 1 and isinstance(targets[0], QosConfig):
+            config = targets[0]
+        elif len(targets) == 1 and isinstance(targets[0], dict) \
+                and "targets" in targets[0]:
+            config = QosConfig.from_dict(targets[0])
+        else:
+            config = QosConfig.from_specs(targets, window_s=window_s)
+        config.validate()
+        self._qos = config.to_dict()
+        if self._spec is not None:
+            self._spec.qos = dict(self._qos)
+        return self
+
     def with_store(self, store) -> "Simulation":
         """Attach a :class:`~repro.experiments.store.ResultStore`.
 
@@ -377,6 +407,15 @@ class Simulation:
         if self._policy_batching is not None:
             platform_config = copy.copy(platform_config)
             platform_config.policy_batching_enabled = self._policy_batching
+        qos_block = self._qos if self._qos is not None else \
+            (self._spec.qos if self._spec is not None and self._spec.qos
+             else None)
+        if qos_block:
+            # QoS rides the spec (hash-participating), so like the seed it
+            # is applied onto a copy of whatever config the preset or the
+            # caller resolved.
+            platform_config = copy.copy(platform_config)
+            platform_config.qos = dict(qos_block)
         if cluster_config is None:
             cluster_config = default_cluster_config(policy, trace)
 

@@ -37,15 +37,18 @@ class RunSpec(ScenarioSpec):
     def from_scenario(cls, scenario: str, policy: Optional[str] = None,
                       seed: Optional[int] = None,
                       policy_kwargs: Optional[dict] = None,
+                      qos: Optional[dict] = None,
                       **generator_overrides) -> "RunSpec":
         """Bind a registered scenario's free parameters into a spec.
 
         ``policy_kwargs`` are constructor knobs for the policy (a tuned
-        variant); they round-trip through JSON and the content hash like
-        every other spec field.
+        variant); ``qos`` is a declarative QoS block
+        (``QosConfig.to_dict()`` form, see :mod:`repro.qos`).  Both
+        round-trip through JSON and the content hash like every other
+        spec field.
         """
         bound = default_registry().get(scenario).instantiate(
-            policy=policy, seed=seed, policy_kwargs=policy_kwargs,
+            policy=policy, seed=seed, policy_kwargs=policy_kwargs, qos=qos,
             **generator_overrides)
         return cls.from_dict(bound.to_dict())
 

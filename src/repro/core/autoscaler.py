@@ -30,6 +30,15 @@ class AutoScaler:
         self.scale_out_decisions = 0
         self.scale_in_decisions = 0
         self._process: Optional[Process] = None
+        # QoS overrides (repro.qos.actions.autoscaler_override): until
+        # ``qos_floor_until`` the loop provisions up to ``qos_min_hosts``
+        # active hosts regardless of demand, and until ``qos_freeze_until``
+        # it releases nothing.  All zero by default — three float/int
+        # compares per round, no behavioural change, so runs without QoS
+        # stay byte-identical.
+        self.qos_min_hosts = 0
+        self.qos_floor_until = 0.0
+        self.qos_freeze_until = 0.0
 
     # ------------------------------------------------------------------
     # Decision logic (pure, unit-testable).
@@ -74,9 +83,18 @@ class AutoScaler:
             committed = self.scheduler.cluster.committed_training_gpus()
             current = self.scheduler.cluster.total_gpus()
             add = self.hosts_to_add(committed, current, gpus_per_host)
+            if self.qos_min_hosts > 0 and self.env.now < self.qos_floor_until:
+                # QoS floor: regardless of demand, keep at least
+                # qos_min_hosts active while the override holds.
+                deficit = (self.qos_min_hosts
+                           - self.scheduler.cluster.active_host_count)
+                add = max(add, deficit)
             if add > 0:
                 self.scale_out_decisions += 1
                 yield from self.scheduler.scale_out(add, reason="auto-scaler")
+                continue
+            if self.env.now < self.qos_freeze_until:
+                # QoS scale-in freeze: hold capacity through the breach.
                 continue
             idle_hosts = [h for h in self.scheduler.cluster.idle_hosts()
                           if h.container_count == 0]

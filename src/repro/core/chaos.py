@@ -1,0 +1,61 @@
+"""Deterministic host-failure injection (the ``failure_storm`` stressor).
+
+Promoted from ``examples/failure_injection.py`` into the core so failure
+storms are a first-class, registered, sweepable workload condition rather
+than example-only scaffolding.  Enable via
+:attr:`PlatformConfig.host_failure_interval_s`; the platform then spawns
+:func:`chaos_process` as a background process alongside the workload.
+
+Every ``interval`` simulated seconds the process picks a random active GPU
+server (from the platform's own seeded ``"chaos"`` substream, so the victim
+sequence is a pure function of the run seed — identical per shard under the
+space-sharded runner), fails every kernel replica hosted there through the
+Global Scheduler's normal recovery path (each replica is recreated from
+persisted state on another host, §3.2.5), and decommissions the dead
+server.  The auto-scaler backfills as demand requires.
+
+Rounds that would shrink the cluster below
+:attr:`PlatformConfig.min_surviving_hosts` active hosts are skipped — the
+storm degrades the platform, it never destroys it.
+
+Each executed failure is appended to ``platform.chaos_log`` as
+``(time, host_id, replicas_failed)``; the per-replica fallout surfaces
+through the normal ``replica_failure`` platform events, so hook
+subscribers and the metrics collector see the storm without any new
+event kind.
+"""
+
+from __future__ import annotations
+
+__all__ = ["chaos_process"]
+
+
+def chaos_process(platform, interval_s: float, min_surviving_hosts: int = 2):
+    """Simulation process: periodically fail one random active host."""
+    env = platform.env
+    scheduler = platform.global_scheduler
+    rng = platform.rng.substream("chaos")
+    while True:
+        yield interval_s
+        cluster = platform.cluster
+        active = cluster.active_hosts
+        if len(active) <= min_surviving_hosts:
+            continue
+        victim = rng.choice(sorted(active, key=lambda h: h.host_id))
+        local = cluster.scheduler_for(victim.host_id)
+        doomed = [(kernel, replica)
+                  for replica in list(local.replicas.values())
+                  for kernel in [scheduler.kernels.get(replica.kernel_id)]
+                  if kernel is not None]
+        platform.chaos_log.append((env.now, victim.host_id, len(doomed)))
+        # Mark the server dead *before* recreating its replicas so the
+        # placement machinery (which only considers active hosts) cannot
+        # resurrect a replica onto the host that just killed it.
+        victim.decommission(env.now)
+        # Fail every hosted replica; each is recreated elsewhere from its
+        # persisted state through the normal placement machinery.
+        for kernel, replica in doomed:
+            yield from scheduler.handle_replica_failure(kernel, replica)
+        yield from local.decommission()
+        platform.provisioner.release(victim)
+        cluster.remove_host(victim.host_id)

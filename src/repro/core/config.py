@@ -96,6 +96,23 @@ class PlatformConfig:
     # Idle reclamation interval used by the GPU-hours-saved analysis (Fig. 13).
     idle_reclamation_interval_s: float = 3600.0
 
+    # QoS control plane (repro.qos): a QosConfig (or its dict form) with
+    # the declarative targets the closed-loop controller evaluates at
+    # telemetry window closes.  None — the default — builds no controller
+    # at all, so bare runs stay byte-identical to builds without the
+    # subsystem (the golden digests pin this).
+    qos: Optional[object] = None
+
+    # Failure storm (repro.core.chaos): when set, the platform runs a
+    # deterministic chaos process that decommissions one active host every
+    # interval (victims chosen from the platform's own seeded substream),
+    # failing the replicas on it through the Global Scheduler's normal
+    # recovery path.  None disables the process entirely.
+    host_failure_interval_s: Optional[float] = None
+    # The chaos process skips a round rather than shrink the cluster
+    # below this many active hosts.
+    min_surviving_hosts: int = 2
+
     # Determinism.
     seed: int = 0
 
@@ -113,4 +130,25 @@ class PlatformConfig:
             raise ValueError("metrics_sample_interval_s must be positive")
         if self.metrics_sketch_compression < 20:
             raise ValueError("metrics_sketch_compression must be >= 20")
+        if self.host_failure_interval_s is not None \
+                and self.host_failure_interval_s <= 0:
+            raise ValueError("host_failure_interval_s must be positive")
+        if self.min_surviving_hosts < 1:
+            raise ValueError("min_surviving_hosts must be at least 1")
+        self.qos = self.normalized_qos()
+        if self.qos is not None:
+            self.qos.validate()
         self.prewarm_policy.validate()
+
+    def normalized_qos(self):
+        """The ``qos`` block as a QosConfig (dicts are parsed), or None."""
+        if self.qos is None or isinstance(self.qos, dict) and not self.qos:
+            return None
+        from repro.qos.targets import QosConfig
+
+        if isinstance(self.qos, QosConfig):
+            return self.qos
+        if isinstance(self.qos, dict):
+            return QosConfig.from_dict(self.qos)
+        raise ValueError(f"qos must be a QosConfig or dict, "
+                         f"got {type(self.qos).__name__}")

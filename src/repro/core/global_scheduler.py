@@ -322,8 +322,13 @@ class GlobalScheduler:
         + AllOf with two sleeps total (order-identical; see
         local_scheduler.terminate_kernel_replicas).
         """
-        pairs = [(self.cluster.scheduler_for(replica.host_id), replica)
-                 for replica in list(kernel.active_replicas)]
+        # A replica's host may have been torn down wholesale (failure
+        # injection); such replicas have nothing left to terminate.
+        pairs = [(scheduler, replica)
+                 for replica in list(kernel.active_replicas)
+                 for scheduler in
+                 [self.cluster.local_schedulers.get(replica.host_id)]
+                 if scheduler is not None]
         if pairs:
             termination_times = {scheduler.runtime.latency_model.termination_time
                                  for scheduler, _ in pairs}
@@ -426,8 +431,11 @@ class GlobalScheduler:
                 node_id=new_replica.replica_id)
 
         # Terminate the original replica and reconfigure the Raft group.
-        old_scheduler = self.cluster.scheduler_for(victim.host_id)
-        yield from old_scheduler.terminate_replica(victim)
+        # The victim's host may have vanished wholesale (failure injection)
+        # while the new replica was provisioning; nothing to terminate then.
+        old_scheduler = self.cluster.local_schedulers.get(victim.host_id)
+        if old_scheduler is not None:
+            yield from old_scheduler.terminate_replica(victim)
         kernel.remove_replica(victim.replica_id)
         kernel.add_replica(new_replica)
         kernel.migrations += 1
@@ -497,15 +505,42 @@ class GlobalScheduler:
         """Simulation process: recreate a failed replica from persisted state."""
         self._publish_event(EventKind.REPLICA_FAILURE,
                             f"{kernel.kernel_id}/{replica.replica_id}")
-        scheduler = self.cluster.scheduler_for(replica.host_id)
-        yield from scheduler.terminate_replica(replica)
+        # The replica's host may already be torn down wholesale (failure
+        # injection removes entire servers); terminate only if it is still
+        # registered.
+        scheduler = self.cluster.local_schedulers.get(replica.host_id)
+        if scheduler is not None:
+            yield from scheduler.terminate_replica(replica)
         kernel.remove_replica(replica.replica_id)
         decision = self.placement.candidate_hosts(
             self.cluster, kernel.resource_request, 1,
             self.config.replication_factor, exclude_hosts=kernel.host_ids)
         self.hooks.publish(PLACEMENT_DECISION, self.env.now,
                            kernel.kernel_id, decision)
-        target = decision.hosts[0] if decision.hosts else replica.host
+        target = decision.hosts[0] if decision.hosts else (
+            replica.host if replica.host.is_active else None)
+        if target is None:
+            # No active candidate and the old host is gone: ask for more
+            # capacity and retry, mirroring the migration retry loop.
+            for attempt in range(self.config.migration_max_retries + 1):
+                if attempt == 0:
+                    self.env.process(self.scale_out(
+                        1, reason=f"replica recovery of {kernel.kernel_id}"))
+                yield self.config.migration_retry_interval_s
+                retry = self.placement.candidate_hosts(
+                    self.cluster, kernel.resource_request, 1,
+                    self.config.replication_factor,
+                    exclude_hosts=kernel.host_ids)
+                if retry.hosts:
+                    target = retry.hosts[0]
+                    break
+            if target is None:
+                # The replica is lost; the kernel runs degraded until the
+                # executor path migrates or errors out.
+                self._publish_event(
+                    EventKind.ELECTION_FAILED,
+                    f"{kernel.kernel_id}: replica recovery aborted")
+                return None
         new_scheduler = self.cluster.scheduler_for(target.host_id)
         new_replica = yield from new_scheduler.start_kernel_replica(
             kernel, replica.replica_index,

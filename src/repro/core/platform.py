@@ -147,6 +147,27 @@ class NotebookOSPlatform:
         # finish_workload (None outside a run).
         self._workload: Optional[dict] = None
 
+        # QoS admission throttle (repro.qos.actions.admission_throttle):
+        # while the clock is before ``admission_throttle_until`` every task
+        # admission is deferred by ``admission_throttle_delay_s``.  Inactive
+        # (the default) costs one float compare per admission and yields
+        # nothing, so runs without QoS stay byte-identical.
+        self.admission_throttle_until = 0.0
+        self.admission_throttle_delay_s = 0.0
+        # Failure-storm log: (time, host_id, replicas_failed) per executed
+        # chaos round (see repro.core.chaos; empty unless configured).
+        self.chaos_log: List = []
+        # The closed-loop QoS controller — built only when the config
+        # carries a qos block, so default runs construct (and subscribe)
+        # nothing.
+        qos_config = self.config.normalized_qos()
+        if qos_config is not None:
+            from repro.qos.controller import QosController
+
+            self.qos = QosController(self, qos_config)
+        else:
+            self.qos = None
+
     def _seat_metrics(self) -> None:
         """Seat the collector first on the bus (idempotent via detach)."""
         self.hooks.subscribe(PLATFORM_EVENT, self.metrics.record_event,
@@ -231,6 +252,13 @@ class NotebookOSPlatform:
         self.env.process(self._sampler_loop(horizon), name="metrics-sampler")
         if self.policy.uses_autoscaler and self.config.autoscaler_enabled:
             self.autoscaler.start()
+        if self.config.host_failure_interval_s is not None:
+            from repro.core.chaos import chaos_process
+
+            self.env.process(
+                chaos_process(self, self.config.host_failure_interval_s,
+                              self.config.min_surviving_hosts),
+                name="chaos")
         session_processes = [
             self.env.process(self._session_process(session),
                              name=f"session:{session.session_id}")
@@ -365,6 +393,13 @@ class NotebookOSPlatform:
             for task in sorted(session.tasks, key=lambda t: t.submit_time):
                 if task.submit_time > env.now:
                     yield task.submit_time - env.now
+                # QoS admission backpressure: while a throttle hold is
+                # active, defer this admission by the configured delay.
+                # Inactive — the permanent state without a QoS controller —
+                # this is a single float compare and no yield, keeping bare
+                # runs byte-identical.
+                if env.now < self.admission_throttle_until:
+                    yield self.admission_throttle_delay_s
                 # Batched decision warming: synchronous, adds no events and
                 # no simulated time — the first on-time admission at each
                 # timestamp hands the whole same-timestamp batch to the

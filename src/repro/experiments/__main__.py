@@ -109,11 +109,64 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _qos_block(args) -> Optional[dict]:
+    """Parse the ``--qos`` shorthand targets into a spec ``qos`` block."""
+    if not getattr(args, "qos", None):
+        return None
+    from repro.qos import QosConfig
+
+    config = QosConfig.from_specs(args.qos, window_s=args.qos_window)
+    config.validate()
+    return config.to_dict()
+
+
+def _run_with_qos(spec) -> int:
+    """Run one QoS-enabled spec, printing the live control-loop timeline."""
+    from repro.api import (
+        QOS_ACTION,
+        QOS_BREACH,
+        QOS_RECOVER,
+        RUN_END,
+        Simulation,
+    )
+
+    qos_stats: dict = {}
+    sim = (Simulation.from_spec(spec)
+           .on(QOS_BREACH, lambda t, name, detail: print(
+               f"[{t:10.1f}s] breach  {name}: "
+               f"{detail['stat']}={detail['value']:.2f} "
+               f"(threshold {detail['threshold']:g})"))
+           .on(QOS_ACTION, lambda t, name, action, detail: print(
+               f"[{t:10.1f}s] action  {name} -> {action}"))
+           .on(QOS_RECOVER, lambda t, name, detail: print(
+               f"[{t:10.1f}s] recover {name}: "
+               f"{detail['stat']}={detail['value']:.2f}"))
+           .on(RUN_END, lambda p, r, stats: qos_stats.update(
+               stats.get("qos", {}))))
+    result = sim.run()
+    summary = result.summary()
+    print(f"\ntasks={summary['tasks_completed']}  "
+          f"interact_p50={_round(summary['interactivity_p50_s'])}s  "
+          f"tct_p50={_round(summary['tct_p50_s'])}s  "
+          f"migrations={summary['migrations']}")
+    for name, entry in sorted(qos_stats.get("targets", {}).items()):
+        print(f"qos {name}: breaches={entry['breaches']} "
+              f"recoveries={entry['recoveries']} "
+              f"actions={entry['actions_fired']} ({entry['action']}) "
+              f"final={entry['final_state']}")
+    return 0
+
+
 def cmd_run(args) -> int:
     scenario = default_registry().get(args.scenario)
     spec = scenario.instantiate(policy=args.policy, seed=args.seed,
                                 num_sessions=args.sessions,
-                                duration_hours=args.hours)
+                                duration_hours=args.hours,
+                                qos=_qos_block(args))
+    if spec.qos:
+        # A QoS run is about the live breach/action/recovery timeline, which
+        # only exists while hooks fire — run it directly, bypassing the store.
+        return _run_with_qos(spec)
     store = _make_store(args)
     outcomes = run_specs([spec], workers=1, store=store, progress=print)
     _print_outcomes(outcomes)
@@ -183,7 +236,8 @@ def cmd_telemetry(args) -> int:
     scenario = default_registry().get(args.scenario)
     spec = scenario.instantiate(policy=args.policy, seed=args.seed,
                                 num_sessions=args.sessions,
-                                duration_hours=args.hours)
+                                duration_hours=args.hours,
+                                qos=_qos_block(args))
     if args.shards > 1:
         # Sharded run: one telemetry attachment per shard; print each
         # shard's report (the windows cover the same global horizon).
@@ -224,12 +278,22 @@ def cmd_telemetry(args) -> int:
     sim = Simulation.from_spec(spec).with_telemetry(telemetry)
     if args.sketch:
         sim.with_sketch_metrics()
+    qos_stats: dict = {}
+    if spec.qos:
+        from repro.api import RUN_END
+        sim.on(RUN_END,
+               lambda p, r, stats: qos_stats.update(stats.get("qos", {})))
     sim.run()
     report = telemetry.last
     if args.stream is not None and args.stream not in report.streams:
         raise KeyError(f"unknown stream {args.stream!r} "
                        f"(known: {', '.join(sorted(report.streams))})")
     print(report.format(stream=args.stream))
+    for name, entry in sorted(qos_stats.get("targets", {}).items()):
+        print(f"qos {name}: breaches={entry['breaches']} "
+              f"recoveries={entry['recoveries']} "
+              f"actions={entry['actions_fired']} ({entry['action']}) "
+              f"final={entry['final_state']}")
     if args.json:
         Path(args.json).write_text(report.to_json() + "\n")
         print(f"wrote {args.json}")
@@ -316,6 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the scenario's duration (hours)")
     p_run.add_argument("--no-store", action="store_true",
                        help="do not read or write the result store")
+    p_run.add_argument("--qos", action="append", default=None,
+                       metavar="TARGET",
+                       help="enable the QoS control plane with this target "
+                            "(shorthand 'metric:stat<op>threshold:action"
+                            "[,key=value...]', e.g. "
+                            "'interactivity:p99>60:autoscaler_override'; "
+                            "repeatable)")
+    p_run.add_argument("--qos-window", type=float, default=300.0,
+                       help="QoS evaluation window in simulated seconds "
+                            "(default 300)")
     add_store_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -365,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tele.add_argument("--shards", type=int, default=1,
                         help="run space-sharded over K processes "
                              "(see repro.shard; default 1 = serial)")
+    p_tele.add_argument("--qos", action="append", default=None,
+                        metavar="TARGET",
+                        help="enable the QoS control plane with this target "
+                             "(shorthand form, repeatable; see 'run --qos')")
+    p_tele.add_argument("--qos-window", type=float, default=300.0,
+                        help="QoS evaluation window in simulated seconds "
+                             "(default 300)")
     add_store_args(p_tele)
     p_tele.set_defaults(func=cmd_telemetry)
 

@@ -61,6 +61,11 @@ class ScenarioSpec:
     #: ``gpu_wait_poll_s`` for NotebookOS) — tuned policy variants stay
     #: plain data: sweepable, storable, and part of the content hash.
     policy_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: The declarative QoS block (``QosConfig.to_dict()`` form; see
+    #: :mod:`repro.qos`) — empty means no controller.  Like
+    #: ``policy_kwargs`` it stays plain data: sweepable, storable, and
+    #: part of the content hash when (and only when) set.
+    qos: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         data = {
@@ -76,6 +81,9 @@ class ScenarioSpec:
             # content hash (= result-store key) they had before the field
             # existed.
             data["policy_kwargs"] = dict(self.policy_kwargs)
+        if self.qos:
+            # Same contract: qos-less specs keep their pre-QoS hash.
+            data["qos"] = dict(self.qos)
         return data
 
     @classmethod
@@ -84,7 +92,8 @@ class ScenarioSpec:
                    policy=data["policy"], seed=data["seed"],
                    generator_kwargs=dict(data["generator_kwargs"]),
                    config_preset=data.get("config_preset", "default"),
-                   policy_kwargs=dict(data.get("policy_kwargs", {})))
+                   policy_kwargs=dict(data.get("policy_kwargs", {})),
+                   qos=dict(data.get("qos", {})))
 
     def spec_hash(self) -> str:
         return stable_hash(self.to_dict())
@@ -97,7 +106,11 @@ class ScenarioSpec:
             # output — the hash differs, but humans read labels.
             knobs = ",".join(f"{key}={value}" for key, value
                              in sorted(self.policy_kwargs.items()))
-            return f"{base}[{knobs}]"
+            base = f"{base}[{knobs}]"
+        if self.qos:
+            targets = self.qos.get("targets", [])
+            names = ",".join(t.get("name", "?") for t in targets)
+            base = f"{base}{{qos:{names}}}"
         return base
 
 
@@ -303,11 +316,53 @@ def _giga_scale_configs(spec: ScenarioSpec, trace: Trace):
             giga_scale_cluster_config(spec.policy, trace))
 
 
+def failure_storm_platform_config() -> PlatformConfig:
+    """Platform configuration for the host-failure chaos scenario.
+
+    One host failure every 10 simulated minutes (see
+    :mod:`repro.core.chaos`), with a tight autoscaler cadence so backfill
+    competes with the storm — the condition that makes QoS targets breach
+    and recover within a few telemetry windows.
+    """
+    return PlatformConfig(
+        host_failure_interval_s=600.0,
+        min_surviving_hosts=2,
+        autoscaler_interval_s=120.0,
+        metrics_sample_interval_s=120.0)
+
+
+def failure_storm_cluster_config(policy: str, trace: Trace) -> ClusterConfig:
+    """A deliberately tight cluster: the storm must actually hurt.
+
+    Sized just above half the trace's peak GPU demand so every lost host
+    is felt, with scale-out headroom for recovery.
+    """
+    events = []
+    for session in trace:
+        events.append((session.start_time, session.gpus_requested))
+        events.append((session.end_time, -session.gpus_requested))
+    peak = current = 0
+    for _, delta in sorted(events):
+        current += delta
+        peak = max(peak, current)
+    gpus_per_host = 8
+    initial = max(4, peak // (gpus_per_host * 2))
+    return ClusterConfig(initial_hosts=initial,
+                         max_hosts=max(initial * 3,
+                                       peak // gpus_per_host + 8))
+
+
+def _failure_storm_configs(spec: ScenarioSpec, trace: Trace):
+    return (failure_storm_platform_config(),
+            failure_storm_cluster_config(spec.policy, trace))
+
+
 register_config_preset("default", _default_configs)
 register_config_preset("long_run", _long_run_configs)
 register_config_preset("cluster_scale", _cluster_scale_configs)
 register_config_preset("mega_scale", _mega_scale_configs)
 register_config_preset("giga_scale", _giga_scale_configs)
+register_config_preset("failure_storm", _failure_storm_configs)
 
 
 # ----------------------------------------------------------------------
@@ -328,6 +383,7 @@ class Scenario:
     def instantiate(self, policy: Optional[str] = None,
                     seed: Optional[int] = None,
                     policy_kwargs: Optional[Dict[str, object]] = None,
+                    qos: Optional[Dict[str, object]] = None,
                     **generator_overrides) -> ScenarioSpec:
         """Bind the free parameters and return a runnable spec.
 
@@ -335,7 +391,9 @@ class Scenario:
         (e.g. ``num_sessions=30``); ``None`` values are ignored so CLI
         plumbing can pass optional flags straight through.
         ``policy_kwargs`` are constructor knobs for the policy (tuned
-        variants; part of the spec hash).
+        variants; part of the spec hash).  ``qos`` is a declarative QoS
+        block in ``QosConfig.to_dict()`` form (see :mod:`repro.qos`;
+        also part of the spec hash when set).
         """
         kwargs = dict(self.generator_kwargs)
         kwargs.update({key: value for key, value in generator_overrides.items()
@@ -345,7 +403,8 @@ class Scenario:
             policy=policy or self.default_policy,
             seed=self.default_seed if seed is None else seed,
             generator_kwargs=kwargs, config_preset=self.config_preset,
-            policy_kwargs=dict(policy_kwargs or {}))
+            policy_kwargs=dict(policy_kwargs or {}),
+            qos=dict(qos or {}))
 
 
 class ScenarioRegistry:
@@ -384,6 +443,8 @@ SIMULATION_SESSIONS = 60       # scaled-down stand-in for the 433-session trace
 SIMULATION_DAYS = 90
 CLUSTER_SCALE_SESSIONS = 2000  # thousands of sessions on hundreds of hosts
 CLUSTER_SCALE_HOURS = 6.0
+FAILURE_STORM_SESSIONS = 40    # chaos scenario: host failures under load
+FAILURE_STORM_HOURS = 4.0
 MEGA_SCALE_SESSIONS = 5000     # placement stress: ~1000 hosts (bench_placement.py)
 MEGA_SCALE_HOURS = 8.0
 GIGA_SCALE_SESSIONS = 50000    # sharded-runner stress: ~10000 hosts (bench_giga.py)
@@ -454,5 +515,17 @@ def default_registry() -> ScenarioRegistry:
                               "work_bout_hours": 1.5,
                               "bouts_per_day": 3.0},
             config_preset="giga_scale"))
+        registry.register(Scenario(
+            name="failure_storm",
+            description=f"{FAILURE_STORM_SESSIONS} sessions over "
+                        f"{FAILURE_STORM_HOURS:g} hours on a tight cluster "
+                        "with one host failure every 10 minutes — the "
+                        "chaos stressor for QoS triggers (repro.core.chaos)",
+            generator="adobe", default_seed=13,
+            generator_kwargs={"num_sessions": FAILURE_STORM_SESSIONS,
+                              "duration_hours": FAILURE_STORM_HOURS,
+                              "work_bout_hours": 1.0,
+                              "bouts_per_day": 6.0},
+            config_preset="failure_storm"))
         _DEFAULT_REGISTRY = registry
     return _DEFAULT_REGISTRY

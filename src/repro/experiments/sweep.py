@@ -5,7 +5,7 @@ runs (policies x seeds, optionally x generator knobs such as session count,
 optionally x policy-constructor knobs such as poll intervals) and expands it
 into concrete :class:`ScenarioSpec` instances in a stable, deterministic
 order: policies vary slowest, then seeds, then generator-knob combinations,
-then policy-knob combinations, each in sorted key order.
+then policy-knob combinations, then the QoS axis, each in sorted key order.
 """
 
 from __future__ import annotations
@@ -35,9 +35,14 @@ class SweepGrid:
     #: ``generator_grid`` (sorted key order, fastest-varying last).
     policy_kwargs: Dict[str, object] = field(default_factory=dict)
     policy_grid: Dict[str, Sequence[object]] = field(default_factory=dict)
+    #: QoS axis: candidate ``qos`` blocks (``QosConfig.to_dict()`` form;
+    #: ``{}`` = QoS disabled), varied fastest.  Lets one grid compare a
+    #: controller against its absence, or several target/threshold
+    #: variants, with every cell separately content-hashed and cached.
+    qos_axis: Sequence[Dict[str, object]] = field(default_factory=lambda: ({},))
 
     def size(self) -> int:
-        total = len(self.policies) * len(self.seeds)
+        total = len(self.policies) * len(self.seeds) * len(self.qos_axis)
         for values in self.generator_grid.values():
             total *= len(values)
         for values in self.policy_grid.values():
@@ -60,10 +65,13 @@ class SweepGrid:
             for seed in self.seeds:
                 for combo in combos:
                     for policy_combo in policy_combos:
-                        policy_kwargs = dict(self.policy_kwargs)
-                        policy_kwargs.update(zip(policy_keys, policy_combo))
-                        specs.append(scenario.instantiate(
-                            policy=policy, seed=seed,
-                            policy_kwargs=policy_kwargs,
-                            **dict(zip(keys, combo))))
+                        for qos in self.qos_axis:
+                            policy_kwargs = dict(self.policy_kwargs)
+                            policy_kwargs.update(
+                                zip(policy_keys, policy_combo))
+                            specs.append(scenario.instantiate(
+                                policy=policy, seed=seed,
+                                policy_kwargs=policy_kwargs,
+                                qos=dict(qos),
+                                **dict(zip(keys, combo))))
         return specs

@@ -121,6 +121,22 @@ class NotebookOSPolicy(SchedulingPolicy):
         # .preferred_executor stay available for callers with repeat-query
         # patterns; the differential harness pins their equivalence.)
         proposals = kernel.make_proposals(gpus_needed)
+        if not proposals:
+            # Every replica is gone or busy migrating (failure injection can
+            # wipe a kernel's whole replica set): recover via the migration
+            # path rather than holding an empty election.
+            metrics.required_migration = True
+            executor = yield env.process(platform.global_scheduler.migrate_replica(
+                kernel, gpus_needed))
+            if executor is None:
+                metrics.status = "error"
+                metrics.completed_at = env.now
+                return metrics
+            proposals = kernel.make_proposals(gpus_needed)
+            if not proposals:
+                metrics.status = "error"
+                metrics.completed_at = env.now
+                return metrics
         preferred = platform.global_scheduler.preferred_executor(kernel, gpus_needed)
         outcome = kernel.election.decide(proposals, preferred_replica=preferred)
         steps.record("primary_replica_protocol", outcome.latency_s)
@@ -151,6 +167,17 @@ class NotebookOSPolicy(SchedulingPolicy):
                     metrics.status = "error"
                     metrics.completed_at = env.now
                     return metrics
+
+        if executor.host_id not in platform.cluster.local_schedulers:
+            # The executor's whole host vanished (failure injection) between
+            # election and dispatch: re-place via the migration path.
+            metrics.required_migration = True
+            executor = yield env.process(platform.global_scheduler.migrate_replica(
+                kernel, gpus_needed))
+            if executor is None:
+                metrics.status = "error"
+                metrics.completed_at = env.now
+                return metrics
 
         local_scheduler = platform.cluster.scheduler_for(executor.host_id)
 

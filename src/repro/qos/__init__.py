@@ -1,0 +1,46 @@
+"""``repro.qos`` — the closed-loop QoS control plane.
+
+PR 6 landed the *observability* half of the QoS story: windowed metric
+streams with percentile sketches and ``on_window`` callbacks.  This package
+is the *control* half: declarative :class:`QosTarget` objectives evaluated
+at deterministic window closes by a :class:`QosController`, firing
+pluggable mitigation actions (proactive migration, autoscaler overrides,
+admission backpressure) through the platform's existing seams, with every
+transition published on the HookBus (``qos_breach`` / ``qos_recover`` /
+``qos_action``) and summarized in ``RUN_END stats["qos"]``.
+
+QoS is **off by default**: without a ``qos`` config block none of this
+code runs and every golden digest is byte-identical to a build without the
+package.  Enable it declaratively::
+
+    from repro.api import RUN_END, Simulation
+
+    qos_stats = {}
+    (Simulation.from_scenario("cluster_scale")
+     .with_qos("interactivity:p99>120:migrate_hottest", window_s=300.0)
+     .on(RUN_END, lambda p, r, stats: qos_stats.update(stats["qos"]))
+     .run())
+    print(qos_stats["targets"])
+
+or from the CLI::
+
+    python -m repro.experiments run failure_storm \\
+        --qos "interactivity:p99>120:autoscaler_override,extra_hosts=2"
+
+See EXPERIMENTS.md ("QoS control plane") for the target schema, the sweep
+axis, and the determinism contract.
+"""
+
+from repro.qos.actions import known_actions, register_action, resolve_action
+from repro.qos.controller import QosController, TargetState
+from repro.qos.targets import QosConfig, QosTarget
+
+__all__ = [
+    "QosConfig",
+    "QosController",
+    "QosTarget",
+    "TargetState",
+    "known_actions",
+    "register_action",
+    "resolve_action",
+]

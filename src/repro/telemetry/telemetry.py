@@ -198,12 +198,16 @@ class Telemetry:
     def __init__(self, window_s: float = 300.0,
                  quantiles: Sequence[float] = (0.5, 0.9, 0.99),
                  compression: int = 200, spans: bool = False,
-                 retain_sketches: int = 8) -> None:
+                 retain_sketches: int = 8, publish_stats: bool = True) -> None:
         self.window_s = float(window_s)
         self.quantiles = tuple(quantiles)
         self.compression = int(compression)
         self.record_spans = bool(spans)
         self.retain_sketches = int(retain_sketches)
+        #: Whether RUN_END writes ``stats["telemetry"]``.  Private
+        #: attachments (the QoS controller's trigger telemetry) disable
+        #: this so they never clobber the user-facing attachment's entry.
+        self.publish_stats = bool(publish_stats)
         self.reports: List[TelemetryReport] = []
         self._attached: Optional[HookBus] = None
         self._subscriptions: List[Tuple[str, Callable[..., None]]] = []
@@ -513,9 +517,10 @@ class Telemetry:
         self.reports.append(report)
         # Surface the windowed snapshots in the stats payload, next to the
         # dispatch/AST-cache/memory entries the platform itself publishes.
-        stats["telemetry"] = {
-            "window_s": self.window_s,
-            "streams": report.streams,
-            "span_counts": span_counts,
-        }
+        if self.publish_stats:
+            stats["telemetry"] = {
+                "window_s": self.window_s,
+                "streams": report.streams,
+                "span_counts": span_counts,
+            }
         self._running = False
