@@ -1,0 +1,205 @@
+"""Resilience benchmark: the cost of losing (and recovering) a shard worker.
+
+PR 10 added :mod:`repro.resilience` — the supervised parallel shard driver
+that respawns a dead/hung worker and deterministically fast-forwards it from
+the journal of merged global frames.  This benchmark pins both halves of
+that contract:
+
+* **bit-identity** — a run that SIGKILLs one shard worker mid-flight must
+  recover to a merged collector digest byte-identical to the fault-free run
+  (asserted on every invocation, smoke and full);
+* **recovery overhead** — the wall-clock penalty of one kill-and-recover
+  must stay proportional to the work actually lost: the respawned worker
+  replays ``kill_epoch`` epochs, so the overhead budget is **2x the lost
+  epochs' share of the fault-free wall time** plus a fixed slack for
+  process spawn and failure-detection latency.  An overhead past that means
+  the supervisor is re-running more than it lost (journal mis-resume) or
+  detection is stalling the barrier.
+
+Results land in ``BENCH_resilience.json`` next to this file (override with
+``--output``).  CI runs ``--smoke --check`` as the seventh benchmark gate.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py            # full
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py --smoke
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py --smoke --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+
+from repro.api import RunSpec
+from repro.experiments.scenarios import build_trace
+from repro.shard import run_sharded
+from repro.shard.plan import ShardPlan
+
+DEFAULT_OUTPUT = Path(__file__).with_name("BENCH_resilience.json")
+
+# Recovery overhead budget: 2x the killed worker's lost epochs (as a share
+# of fault-free wall time) plus fixed slack for respawn + detection.
+OVERHEAD_FACTOR = 2.0
+OVERHEAD_SLACK_S = 3.0
+
+SMOKE_SESSIONS = 150
+SMOKE_HOURS = 2.0
+FULL_SESSIONS = None  # scenario default (cluster_scale: 600)
+FULL_HOURS = None
+
+
+def _collector_digest(result) -> str:
+    canonical = json.dumps(result.collector.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _measure_worker(connection, sessions, hours, num_shards,
+                    kill_epoch) -> None:
+    """Run cluster_scale once (optionally killing one worker) and report."""
+    from repro.resilience import FaultInjection
+
+    spec = RunSpec.from_scenario("cluster_scale", num_sessions=sessions,
+                                 duration_hours=hours)
+    injection = None
+    if kill_epoch is not None:
+        injection = FaultInjection(shard=num_shards - 1, epoch=kill_epoch,
+                                   mode="sigkill")
+    started = time.perf_counter()
+    run = run_sharded(spec, num_shards, fault_injection=injection)
+    elapsed = time.perf_counter() - started
+    connection.send({
+        "wall_s": round(elapsed, 3),
+        "digest": _collector_digest(run.result),
+        "mode": run.mode,
+        "workers_lost": run.resilience["workers_lost"],
+        "workers_recovered": run.resilience["workers_recovered"],
+    })
+    connection.close()
+
+
+def _measure(sessions, hours, num_shards, kill_epoch=None) -> dict:
+    """One configuration in a fresh *spawned* interpreter (clean heap, no
+    fork-inherited state poisoning the wall clock)."""
+    context = multiprocessing.get_context("spawn")
+    parent_end, child_end = context.Pipe()
+    process = context.Process(
+        target=_measure_worker,
+        args=(child_end, sessions, hours, num_shards, kill_epoch))
+    process.start()
+    child_end.close()
+    try:
+        record = parent_end.recv()
+    except EOFError:
+        process.join()
+        raise RuntimeError(
+            f"measurement subprocess died ({num_shards} shards, "
+            f"exit code {process.exitcode})") from None
+    process.join()
+    return record
+
+
+def bench_recovery(sessions, hours, num_shards) -> dict:
+    """Fault-free vs one-SIGKILL run at ``num_shards``; digest pinned."""
+    spec = RunSpec.from_scenario("cluster_scale", num_sessions=sessions,
+                                 duration_hours=hours)
+    plan = ShardPlan.from_trace(build_trace(spec), num_shards)
+    kill_epoch = plan.num_epochs // 2
+
+    fault_free = _measure(sessions, hours, num_shards)
+    faulted = _measure(sessions, hours, num_shards, kill_epoch=kill_epoch)
+
+    if faulted["digest"] != fault_free["digest"]:
+        raise AssertionError(
+            f"recovered {num_shards}-shard run diverged from the fault-free "
+            f"digest (kill at epoch {kill_epoch}/{plan.num_epochs})")
+    if faulted["workers_recovered"] != 1 or faulted["mode"] != "parallel":
+        raise AssertionError(
+            f"expected exactly one recovery in parallel mode, got "
+            f"{faulted['workers_recovered']} (mode {faulted['mode']})")
+
+    overhead_s = faulted["wall_s"] - fault_free["wall_s"]
+    lost_share = kill_epoch / plan.num_epochs
+    budget_s = (OVERHEAD_FACTOR * lost_share * fault_free["wall_s"]
+                + OVERHEAD_SLACK_S)
+    return {
+        "num_shards": num_shards,
+        "num_epochs": plan.num_epochs,
+        "kill_epoch": kill_epoch,
+        "fault_free_wall_s": fault_free["wall_s"],
+        "faulted_wall_s": faulted["wall_s"],
+        "recovery_overhead_s": round(overhead_s, 3),
+        "overhead_budget_s": round(budget_s, 3),
+        "within_budget": overhead_s <= budget_s,
+        "digest_identical": True,
+    }
+
+
+def run_smoke() -> dict:
+    return {"k2": bench_recovery(SMOKE_SESSIONS, SMOKE_HOURS, 2)}
+
+
+def run_full() -> dict:
+    return {"k2": bench_recovery(FULL_SESSIONS, FULL_HOURS, 2),
+            "k4": bench_recovery(FULL_SESSIONS, FULL_HOURS, 4)}
+
+
+def check_gates(smoke: dict) -> int:
+    """The CI gate: digest identity is asserted inside bench_recovery (an
+    AssertionError fails the job); here we enforce the overhead budget."""
+    record = smoke["k2"]
+    verdict = "ok" if record["within_budget"] else "OVER BUDGET"
+    print(f"check: recovered digest identical to fault-free: ok")
+    print(f"check: recovery overhead {record['recovery_overhead_s']:.2f}s vs "
+          f"budget {record['overhead_budget_s']:.2f}s "
+          f"(2x {record['kill_epoch']}/{record['num_epochs']} lost epochs "
+          f"+ {OVERHEAD_SLACK_S:.0f}s slack): {verdict}")
+    return 0 if record["within_budget"] else 1
+
+
+def _print_section(name: str, record: dict) -> None:
+    print(f"[{name}] K={record['num_shards']}  "
+          f"kill@{record['kill_epoch']}/{record['num_epochs']}  "
+          f"fault-free {record['fault_free_wall_s']:.2f}s  "
+          f"faulted {record['faulted_wall_s']:.2f}s  "
+          f"overhead {record['recovery_overhead_s']:+.2f}s "
+          f"(budget {record['overhead_budget_s']:.2f}s)  "
+          f"digest ok")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down CI sizes only")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the recovery gates (digest identity + "
+                             "overhead budget) and exit non-zero on breach")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    smoke = run_smoke()
+    _print_section("smoke", smoke["k2"])
+
+    if args.check:
+        return check_gates(smoke)
+
+    results = {"smoke": smoke}
+    if not args.smoke:
+        results["full"] = run_full()
+        _print_section("full k2", results["full"]["k2"])
+        _print_section("full k4", results["full"]["k4"])
+
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,9 +55,12 @@ from repro.api.hooks import (
     SCALE_OUT,
     SESSION_END,
     SESSION_START,
+    SPEC_RETRY,
     TASK_COMPLETE,
     TASK_SUBMIT,
     TOPICS,
+    WORKER_LOST,
+    WORKER_RECOVERED,
     HookBus,
 )
 from repro.api.registry import (
@@ -85,9 +88,12 @@ __all__ = [
     "SCALE_OUT",
     "SESSION_END",
     "SESSION_START",
+    "SPEC_RETRY",
     "TASK_COMPLETE",
     "TASK_SUBMIT",
     "TOPICS",
+    "WORKER_LOST",
+    "WORKER_RECOVERED",
     "HookBus",
     # policies
     "DuplicatePolicyError",
@@ -107,6 +113,7 @@ __all__ = [
     "peak_gpu_demand",
     # sweeps
     "RunOutcome",
+    "SweepExecutionError",
     "ResultStore",
     "Scenario",
     "ScenarioRegistry",
@@ -125,6 +132,7 @@ _LAZY_EXPORTS = {
     "default_cluster_config": ("repro.api.simulation", "default_cluster_config"),
     "peak_gpu_demand": ("repro.api.simulation", "peak_gpu_demand"),
     "RunOutcome": ("repro.experiments.runner", "RunOutcome"),
+    "SweepExecutionError": ("repro.experiments.runner", "SweepExecutionError"),
     "run_spec": ("repro.experiments.runner", "run_spec"),
     "run_specs": ("repro.experiments.runner", "run_specs"),
     "Scenario": ("repro.experiments.scenarios", "Scenario"),

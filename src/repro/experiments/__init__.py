@@ -28,7 +28,12 @@ Quickstart::
 See EXPERIMENTS.md for the full tour.
 """
 
-from repro.experiments.runner import RunOutcome, run_spec, run_specs
+from repro.experiments.runner import (
+    RunOutcome,
+    SweepExecutionError,
+    run_spec,
+    run_specs,
+)
 from repro.experiments.scenarios import (
     CLUSTER_SCALE_HOURS,
     CLUSTER_SCALE_SESSIONS,
@@ -58,6 +63,7 @@ __all__ = [
     "SIMULATION_DAYS",
     "SIMULATION_SESSIONS",
     "RunOutcome",
+    "SweepExecutionError",
     "Scenario",
     "ScenarioRegistry",
     "ScenarioSpec",

@@ -1,0 +1,51 @@
+"""repro.resilience — fault-tolerant execution for sharded runs and sweeps.
+
+Production harnesses survive worker death; simulation harnesses usually do
+not.  This package closes that gap for the two load-bearing execution paths:
+
+* **Supervised shard workers** (:mod:`repro.resilience.supervisor`) — the
+  parallel shard driver polls pipes with a deadline instead of blocking on
+  bare ``recv``, notices a dead / hung / frame-corrupting worker, respawns
+  the shard process, and deterministically fast-forwards it by replaying its
+  sub-trace against the journal of already-merged
+  :class:`~repro.shard.barrier.GlobalFrame` s.  Because every shard's
+  simulation is a pure function of its spec, sub-trace, and absorbed global
+  frames, the recovered run's merged collector digest is **byte-identical**
+  to a fault-free run.  After too many consecutive failures of one shard the
+  run degrades gracefully to the in-process serial driver (same digest,
+  no parallelism).
+* **Resilient sweeps** (:func:`repro.experiments.runner.run_specs`) — each
+  spec runs in its own supervised process, failed specs are retried on a
+  deterministic (jitterless) exponential backoff schedule, persistently
+  failing specs are quarantined with their captured tracebacks, and every
+  completed sibling is salvaged.  ``sweep --resume`` skips anything already
+  in the content-addressed store.
+* **Observability** — recovery transitions publish
+  ``WORKER_LOST`` / ``WORKER_RECOVERED`` / ``SPEC_RETRY`` hook topics, ride
+  ``ShardedRunResult.resilience``, and a recovered worker's RUN_END carries
+  ``stats["resilience"]`` (incarnation + replayed-epoch accounting).
+* **Adversarial proof** (:class:`FaultInjection`) — a test-only crash
+  harness that SIGKILLs a worker at epoch *k*, hangs it, truncates a frame
+  on the pipe, or raises; ``tests/test_resilience.py`` and
+  ``benchmarks/bench_resilience.py`` drive bit-identity assertions with it.
+"""
+
+from repro.resilience.monitor import ResilienceContext, ResilienceMonitor
+from repro.resilience.retry import backoff_delay, backoff_schedule
+from repro.resilience.supervisor import (
+    FaultInjection,
+    ResilienceExhausted,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "FaultInjection",
+    "ResilienceContext",
+    "ResilienceExhausted",
+    "ResilienceMonitor",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "backoff_delay",
+    "backoff_schedule",
+]

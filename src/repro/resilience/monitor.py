@@ -1,0 +1,119 @@
+"""Recovery accounting: the coordinator-side monitor and the per-worker
+context.
+
+:class:`ResilienceMonitor` lives in the coordinator (``run_sharded`` / the
+shard supervisor): it records every supervision transition as a plain event
+dict, mirrors it onto an optional :class:`~repro.api.hooks.HookBus`
+(``WORKER_LOST`` / ``WORKER_RECOVERED`` topics), and renders the
+``ShardedRunResult.resilience`` payload.
+
+:class:`ResilienceContext` lives in a *recovered* worker process: the
+respawned incarnation attaches it to its platform (duck-typed, like
+``shard_context``), and ``finish_workload`` folds its payload into the
+RUN_END ``stats["resilience"]`` block — so per-shard telemetry and profiler
+reports can see that this result came from a replayed incarnation.
+
+Everything here is wall-clock/observational accounting; nothing touches the
+simulation, so recovered runs stay byte-identical to fault-free ones.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Dict, List, Optional
+
+from repro.api.hooks import WORKER_LOST, WORKER_RECOVERED, HookBus
+
+__all__ = ["ResilienceContext", "ResilienceMonitor"]
+
+
+class ResilienceContext:
+    """A recovered shard incarnation's replay accounting (worker side)."""
+
+    __slots__ = ("incarnation", "replayed_epochs")
+
+    def __init__(self, incarnation: int, replayed_epochs: int) -> None:
+        #: 1 for the original process, 2 for the first respawn, ...
+        self.incarnation = int(incarnation)
+        #: Epochs deterministically re-simulated from the journal before
+        #: rejoining the live barrier protocol.
+        self.replayed_epochs = int(replayed_epochs)
+
+    def stats_payload(self) -> Dict[str, object]:
+        return {
+            "recovered": True,
+            "incarnation": self.incarnation,
+            "replayed_epochs": self.replayed_epochs,
+        }
+
+
+class ResilienceMonitor:
+    """Coordinator-side recorder of supervision events.
+
+    One instance spans a whole ``run_sharded`` call (including a degrade to
+    the serial driver); its :meth:`payload` becomes
+    ``ShardedRunResult.resilience``.  When a ``hooks`` bus is given, every
+    loss/recovery is also published as a ``WORKER_LOST`` /
+    ``WORKER_RECOVERED`` topic with the barrier's *simulated* time, so
+    telemetry can fold the transitions into counter streams via
+    ``Telemetry.watch``.
+    """
+
+    def __init__(self, hooks: Optional[HookBus] = None) -> None:
+        self.hooks = hooks
+        self.events: List[Dict[str, object]] = []
+        self.workers_lost = 0
+        self.workers_recovered = 0
+        self.restarts: Dict[int, int] = {}
+        self.degraded_reason: Optional[str] = None
+        self._started = _wallclock.monotonic()
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, **detail) -> Dict[str, object]:
+        event = {"event": kind,
+                 "wall_s": round(_wallclock.monotonic() - self._started, 3)}
+        event.update(detail)
+        self.events.append(event)
+        return event
+
+    def worker_lost(self, shard: int, sim_time: float, reason: str) -> None:
+        self.workers_lost += 1
+        self.restarts[shard] = self.restarts.get(shard, 0) + 1
+        detail = self._event("worker_lost", shard=shard, time=sim_time,
+                             reason=reason)
+        if self.hooks is not None:
+            self.hooks.publish(WORKER_LOST, sim_time, shard, detail)
+
+    def worker_recovered(self, shard: int, sim_time: float,
+                         replayed_epochs: int, incarnation: int) -> None:
+        self.workers_recovered += 1
+        detail = self._event("worker_recovered", shard=shard, time=sim_time,
+                             replayed_epochs=replayed_epochs,
+                             incarnation=incarnation)
+        if self.hooks is not None:
+            self.hooks.publish(WORKER_RECOVERED, sim_time, shard, detail)
+
+    def degraded(self, reason: str) -> None:
+        self.degraded_reason = reason
+        self._event("degraded_to_serial", reason=reason)
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    @property
+    def recoveries(self) -> int:
+        return self.workers_recovered
+
+    def payload(self) -> Dict[str, object]:
+        """The ``ShardedRunResult.resilience`` payload."""
+        return {
+            "workers_lost": self.workers_lost,
+            "workers_recovered": self.workers_recovered,
+            "restarts_per_shard": {str(shard): count for shard, count in
+                                   sorted(self.restarts.items())},
+            "degraded": self.degraded_reason is not None,
+            "degraded_reason": self.degraded_reason,
+            "events": list(self.events),
+        }

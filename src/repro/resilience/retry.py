@@ -1,0 +1,35 @@
+"""Deterministic (jitterless) exponential backoff for sweep retries.
+
+Randomized jitter exists to decorrelate many independent clients hammering
+one shared service; a sweep's retries contend only with the local machine,
+and determinism is this codebase's core contract — so the schedule is a
+pure function of the attempt number: ``base * 2**(attempt-1)``, capped.
+Two runs of the same failing sweep wait the exact same seconds before the
+exact same attempts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["backoff_delay", "backoff_schedule", "DEFAULT_BACKOFF_CAP_S"]
+
+#: Ceiling on any single retry delay; doubling past this buys nothing.
+DEFAULT_BACKOFF_CAP_S = 30.0
+
+
+def backoff_delay(attempt: int, base_s: float,
+                  cap_s: float = DEFAULT_BACKOFF_CAP_S) -> float:
+    """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
+    if attempt < 1:
+        raise ValueError(f"attempt is 1-based, got {attempt}")
+    if base_s <= 0.0:
+        return 0.0
+    return min(float(cap_s), float(base_s) * (2.0 ** (attempt - 1)))
+
+
+def backoff_schedule(retries: int, base_s: float,
+                     cap_s: float = DEFAULT_BACKOFF_CAP_S) -> List[float]:
+    """The full delay sequence for ``retries`` retry attempts."""
+    return [backoff_delay(attempt, base_s, cap_s)
+            for attempt in range(1, retries + 1)]

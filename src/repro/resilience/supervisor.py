@@ -1,0 +1,415 @@
+"""The supervised parallel shard driver: poll, detect, respawn, replay.
+
+The unsupervised driver this replaces blocked forever on bare
+``Pipe.recv()``: one SIGKILLed or hung worker wedged the whole run, and a
+truncated frame on the pipe surfaced as an unhandled unpickling error with
+every sibling left running.  :class:`ShardSupervisor` drives the identical
+barrier protocol defensively:
+
+* **poll-with-deadline** — the coordinator waits on all pending pipes with
+  :func:`multiprocessing.connection.wait` in short slices, checking worker
+  liveness (``Process.is_alive``) between slices and, when a
+  ``worker_timeout_s`` is configured, killing workers that blow their
+  per-barrier deadline;
+* **deterministic recovery** — every merged
+  :class:`~repro.shard.barrier.GlobalFrame` is journaled; a lost worker is
+  respawned with the journal and *fast-forwards* by re-simulating its
+  sub-trace epoch by epoch (``step_epoch`` + ``absorb`` of the journaled
+  frames), which reproduces the dead incarnation's state bit for bit —
+  shard simulations are pure functions of (spec, sub-trace, absorbed
+  frames).  The recovered run's merged digest is byte-identical to a
+  fault-free run (pinned by tests/test_resilience.py and gated by
+  benchmarks/bench_resilience.py);
+* **graceful degradation** — after ``max_worker_restarts`` consecutive
+  failures of one shard, the supervisor gives up on parallelism and
+  ``run_sharded`` falls back to the in-process serial driver (same digest,
+  no processes);
+* **clean teardown** — every exit path drains and closes the parent pipe
+  ends *before* joining, so a worker blocked writing into a full pipe
+  buffer can never deadlock the join (the bug the unsupervised
+  ``terminate()`` path had).
+
+Deterministic in-simulation errors (an unknown policy, an assertion in the
+engine) are *not* retried: replaying would fail identically, so they raise
+:class:`~repro.shard.runner.ShardExecutionError` immediately, exactly as
+before.  Supervision only treats process death, hangs, and transport
+corruption as recoverable.
+
+:class:`FaultInjection` is the test-only crash harness: it makes the worker
+SIGKILL itself at epoch *k*, hang forever, truncate a frame mid-pickle on
+the pipe, or raise — letting tests and the benchmark gate drive every
+recovery path on demand.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time as _wallclock
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional, Sequence
+
+from repro.resilience.monitor import ResilienceMonitor
+from repro.shard.barrier import GlobalFrame, ShardFrame
+from repro.shard.plan import ShardPlan
+
+__all__ = ["FaultInjection", "ResilienceExhausted", "ShardSupervisor",
+           "SupervisorConfig"]
+
+
+class ResilienceExhausted(RuntimeError):
+    """A shard kept dying past ``max_worker_restarts``; degrade to serial."""
+
+    def __init__(self, shard: int, restarts: int, reason: str) -> None:
+        self.shard = shard
+        self.restarts = restarts
+        super().__init__(
+            f"shard {shard} failed {restarts} consecutive times "
+            f"(last: {reason}); degrading to the serial driver")
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs for the parallel shard driver."""
+
+    #: Wall seconds a worker may take to deliver one barrier frame (or its
+    #: final result) before it is declared hung and killed.  ``None``
+    #: disables the deadline — liveness (process death, pipe corruption) is
+    #: still detected.  A respawned worker's deadline is scaled by the
+    #: number of epochs it must replay.
+    worker_timeout_s: Optional[float] = None
+    #: Consecutive failures of one shard before the run degrades to the
+    #: serial driver.  "Consecutive" resets whenever the shard delivers a
+    #: message successfully.
+    max_worker_restarts: int = 3
+    #: Pipe poll slice; liveness is checked between slices.
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be positive or None")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Test-only crash harness carried to shard workers via the options
+    dict.  Fires in shard ``shard`` just before it would send the frame for
+    barrier ``epoch`` (``epoch >= num_epochs`` targets the final result
+    send instead).  Non-``persistent`` injections are stripped from the
+    options when the supervisor respawns the shard, so the recovered
+    incarnation runs clean; ``persistent=True`` crashes every incarnation
+    (the degradation path).
+    """
+
+    shard: int
+    epoch: int
+    #: ``sigkill`` — raw SIGKILL, no cleanup; ``hang`` — sleep forever
+    #: (needs ``worker_timeout_s`` to be detected); ``truncate_frame`` —
+    #: write a truncated pickle onto the pipe then die; ``exception`` —
+    #: raise inside the worker (a *deterministic* failure: surfaces as
+    #: ShardExecutionError, never retried).
+    mode: str = "sigkill"
+    persistent: bool = False
+
+    MODES = ("sigkill", "hang", "truncate_frame", "exception")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; choose from "
+                             f"{', '.join(self.MODES)}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"shard": self.shard, "epoch": self.epoch, "mode": self.mode,
+                "persistent": self.persistent}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultInjection":
+        return cls(shard=int(data["shard"]), epoch=int(data["epoch"]),
+                   mode=str(data["mode"]),
+                   persistent=bool(data.get("persistent", False)))
+
+    def fire(self, connection, payload) -> None:
+        """Execute the injected fault inside the worker process."""
+        import os
+        import signal
+
+        if self.mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.mode == "hang":
+            while True:
+                _wallclock.sleep(0.25)
+        elif self.mode == "truncate_frame":
+            # Half a pickle on the wire: recv() on the other end raises.
+            connection.send_bytes(pickle.dumps(payload)[:16])
+            os._exit(1)
+        elif self.mode == "exception":
+            raise RuntimeError(
+                f"injected failure in shard {self.shard} at epoch "
+                f"{self.epoch}")
+
+
+class _Worker:
+    """Coordinator-side handle for one shard process."""
+
+    __slots__ = ("shard", "process", "connection", "incarnation",
+                 "consecutive_failures", "deadline", "recovering",
+                 "replayed_epochs")
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.process = None
+        self.connection = None
+        self.incarnation = 0
+        self.consecutive_failures = 0
+        self.deadline: Optional[float] = None
+        self.recovering = False
+        self.replayed_epochs = 0
+
+
+def drain_and_close(connection) -> None:
+    """Drain then close a parent pipe end (idempotent, never raises).
+
+    Draining first matters: a worker blocked writing a large payload into a
+    full pipe buffer only exits once the buffer empties — joining it with
+    the buffer full deadlocks, and closing without draining leaks whatever
+    was in flight.
+    """
+    if connection is None:
+        return
+    try:
+        while connection.poll(0):
+            connection.recv_bytes()
+    except (EOFError, OSError):
+        pass
+    except Exception:
+        pass
+    try:
+        connection.close()
+    except Exception:
+        pass
+
+
+def reap(worker: _Worker, join_timeout: float = 10.0) -> None:
+    """Tear one worker down: drain + close the pipe, then terminate/join."""
+    drain_and_close(worker.connection)
+    worker.connection = None
+    process = worker.process
+    if process is None:
+        return
+    if process.is_alive():
+        process.terminate()
+    process.join(timeout=join_timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=join_timeout)
+
+
+class ShardSupervisor:
+    """Drive one sharded run's workers with supervision and recovery."""
+
+    def __init__(self, spec, plan: ShardPlan, options: dict,
+                 traces: Optional[Sequence], config: SupervisorConfig,
+                 monitor: ResilienceMonitor) -> None:
+        self.spec = spec
+        self.plan = plan
+        self.options = dict(options)
+        self.traces = traces
+        self.config = config
+        self.monitor = monitor
+        #: Merged GlobalFrame dicts in epoch order — the recovery journal.
+        #: ``len(journal)`` is always the resume epoch for a respawn: during
+        #: the gather of epoch *e* it holds epochs ``0..e-1``, after the
+        #: merge/broadcast of *e* it holds ``0..e``, and during the result
+        #: phase it holds every epoch.
+        self.journal: List[Dict[str, object]] = []
+        self.workers: List[_Worker] = []
+        self._context = multiprocessing.get_context("fork")
+
+    # ------------------------------------------------------------------
+    # Process lifecycle.
+    # ------------------------------------------------------------------
+    def _worker_options(self, recovering: bool) -> dict:
+        options = dict(self.options)
+        injection = options.get("fault_injection")
+        if recovering and injection and not injection.get("persistent"):
+            # One-shot injections die with the incarnation they killed.
+            options = {k: v for k, v in options.items()
+                       if k != "fault_injection"}
+        return options
+
+    def _spawn(self, worker: _Worker) -> None:
+        from repro.shard.runner import _shard_worker
+
+        recovering = worker.incarnation > 0
+        recover = None
+        if recovering:
+            recover = {"resume_epoch": len(self.journal),
+                       "frames": list(self.journal),
+                       "incarnation": worker.incarnation + 1}
+            worker.replayed_epochs = len(self.journal)
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(child_end, self.spec.to_dict(), worker.shard,
+                  self.plan.to_dict(), self._worker_options(recovering),
+                  self.traces[worker.shard] if self.traces else None,
+                  recover),
+            name=f"shard-{worker.shard}", daemon=True)
+        process.start()
+        child_end.close()
+        worker.process = process
+        worker.connection = parent_end
+        worker.incarnation += 1
+        worker.recovering = recovering
+        worker.deadline = self._deadline_for(worker)
+
+    def _deadline_for(self, worker: _Worker) -> Optional[float]:
+        timeout = self.config.worker_timeout_s
+        if timeout is None:
+            return None
+        # A respawned worker must re-simulate every journaled epoch before
+        # it can answer, so its deadline budget scales with the replay.
+        replay_epochs = len(self.journal) if worker.recovering else 0
+        return _wallclock.monotonic() + timeout * (1 + replay_epochs)
+
+    def _lose(self, worker: _Worker, sim_time: float, reason: str) -> None:
+        """Handle one worker loss: account, enforce the restart budget,
+        respawn with the journal."""
+        worker.consecutive_failures += 1
+        self.monitor.worker_lost(worker.shard, sim_time, reason)
+        reap(worker)
+        if worker.consecutive_failures > self.config.max_worker_restarts:
+            raise ResilienceExhausted(worker.shard,
+                                      worker.consecutive_failures, reason)
+        self._spawn(worker)
+
+    def _note_delivery(self, worker: _Worker, sim_time: float) -> None:
+        if worker.recovering:
+            self.monitor.worker_recovered(worker.shard, sim_time,
+                                          worker.replayed_epochs,
+                                          worker.incarnation)
+            worker.recovering = False
+        worker.consecutive_failures = 0
+        worker.deadline = None
+
+    # ------------------------------------------------------------------
+    # Supervised message collection.
+    # ------------------------------------------------------------------
+    def _gather(self, expected: str, sim_time: float) -> Dict[int, object]:
+        """Collect one ``expected`` message from every shard, surviving
+        worker death, hangs, and corrupt frames along the way."""
+        from repro.shard.runner import ShardExecutionError
+
+        pending = {worker.shard for worker in self.workers}
+        received: Dict[int, object] = {}
+        now = _wallclock.monotonic()
+        for worker in self.workers:
+            if worker.deadline is None:
+                worker.deadline = self._deadline_for(worker)
+        while pending:
+            by_connection = {self.workers[shard].connection: shard
+                            for shard in pending}
+            ready = _connection_wait(list(by_connection),
+                                     timeout=self.config.poll_interval_s)
+            for connection in ready:
+                shard = by_connection[connection]
+                worker = self.workers[shard]
+                try:
+                    message = connection.recv()
+                except (EOFError, OSError) as error:
+                    self._lose(worker, sim_time,
+                               f"pipe closed mid-{expected} "
+                               f"({type(error).__name__})")
+                    continue
+                except Exception as error:
+                    # A frame truncated/corrupted in flight: unpicklable.
+                    self._lose(worker, sim_time,
+                               f"corrupt {expected} frame on the pipe "
+                               f"({type(error).__name__}: {error})")
+                    continue
+                if message[0] == "error":
+                    # Deterministic in-simulation failure: replay would fail
+                    # identically, so surface it instead of retrying.
+                    raise ShardExecutionError(
+                        f"shard {shard} failed: {message[1]}\n{message[2]}")
+                if message[0] != expected:
+                    raise ShardExecutionError(
+                        f"shard {shard}: expected {expected!r} message, "
+                        f"got {message[0]!r}")
+                received[shard] = message[1]
+                pending.discard(shard)
+                self._note_delivery(worker, sim_time)
+            now = _wallclock.monotonic()
+            for shard in sorted(pending):
+                worker = self.workers[shard]
+                if worker.connection in ready:
+                    continue  # just respawned or handled this slice
+                try:
+                    # A worker that exits normally right after sending (the
+                    # result phase) or that is slow but has data in flight
+                    # is not lost: recv the pending message first.
+                    if worker.connection.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                if not worker.process.is_alive():
+                    self._lose(worker, sim_time,
+                               f"worker died (exit code "
+                               f"{worker.process.exitcode})")
+                elif worker.deadline is not None and now > worker.deadline:
+                    worker.process.kill()
+                    self._lose(worker, sim_time,
+                               f"no {expected} within "
+                               f"{self.config.worker_timeout_s}s deadline "
+                               f"(hung)")
+        return received
+
+    def _broadcast(self, merged: Dict[str, object], sim_time: float) -> None:
+        """Send the merged frame to every worker; a worker whose pipe died
+        is respawned (it picks the frame up from the journal instead)."""
+        for worker in self.workers:
+            try:
+                worker.connection.send(("global", merged))
+            except (BrokenPipeError, OSError):
+                self._lose(worker, sim_time, "pipe closed at broadcast")
+
+    # ------------------------------------------------------------------
+    # The drive loop.
+    # ------------------------------------------------------------------
+    def run(self) -> List[Dict[str, object]]:
+        """Drive all shards through every barrier; returns payload dicts."""
+        try:
+            self.workers = [_Worker(shard)
+                            for shard in range(self.plan.num_shards)]
+            for worker in self.workers:
+                self._spawn(worker)
+            for epoch, barrier_time in enumerate(self.plan.barrier_times):
+                frames = self._gather("frame", barrier_time)
+                merged = GlobalFrame.merge(
+                    [ShardFrame.from_dict(frames[shard])
+                     for shard in range(self.plan.num_shards)]).to_dict()
+                self.journal.append(merged)
+                self._broadcast(merged, barrier_time)
+            payloads = self._gather("result", self.plan.horizon)
+            for worker in self.workers:
+                drain_and_close(worker.connection)
+                worker.connection = None
+                worker.process.join(timeout=60)
+            return [payloads[shard]
+                    for shard in range(self.plan.num_shards)]
+        except BaseException:
+            self.teardown()
+            raise
+
+    def teardown(self) -> None:
+        """Reap every worker (drain + close pipes before joining)."""
+        for worker in self.workers:
+            try:
+                reap(worker)
+            except Exception:
+                pass

@@ -29,7 +29,6 @@ the parallel speedup on top of it.
 
 from __future__ import annotations
 
-import multiprocessing
 import time as _wallclock
 import traceback
 from dataclasses import dataclass, field
@@ -38,7 +37,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.api.spec import RunSpec
 from repro.metrics.collector import ExperimentResult
 from repro.profiling.memory import memory_stats
-from repro.shard.barrier import GlobalFrame, ShardContext, ShardFrame
+from repro.shard.barrier import GlobalFrame, ShardContext
 from repro.shard.merge import merge_results
 from repro.shard.plan import ShardPlan, shard_traces
 
@@ -47,7 +46,10 @@ __all__ = ["ShardExecutionError", "ShardRuntime", "ShardedRunResult",
 
 
 class ShardExecutionError(RuntimeError):
-    """A shard worker died; carries the remote traceback text."""
+    """A shard failed *deterministically* (an in-simulation exception or a
+    protocol violation); carries the remote traceback text.  Process-level
+    losses — kills, hangs, corrupt frames — don't raise this: the
+    supervisor (:mod:`repro.resilience`) recovers them transparently."""
 
 
 @dataclass
@@ -56,12 +58,19 @@ class ShardedRunResult:
 
     result: ExperimentResult
     num_shards: int
-    #: ``"reference"`` (num_shards=1), ``"serial"``, or ``"parallel"``.
+    #: ``"reference"`` (num_shards=1), ``"serial"``, ``"parallel"``, or
+    #: ``"degraded"`` (supervision exhausted a shard's restart budget and
+    #: fell back to the serial driver — same digest, no processes).
     mode: str
     #: Per-shard payloads in shard index order; each carries ``shard``
     #: (the stats_payload), ``memory`` (that process's peak RSS), and —
     #: when requested — ``profile`` / ``telemetry`` report dicts.
     shard_payloads: List[Dict[str, object]] = field(default_factory=list)
+    #: Supervision accounting from :class:`repro.resilience.
+    #: ResilienceMonitor` — worker losses/recoveries, per-shard restart
+    #: counts, degrade flag, and the full event timeline.  Empty for the
+    #: ``num_shards=1`` reference path.
+    resilience: Dict[str, object] = field(default_factory=dict)
 
     @property
     def peak_rss_bytes(self) -> int:
@@ -74,6 +83,16 @@ class ShardedRunResult:
         """Total wall seconds shards spent blocked at barriers."""
         return sum(p.get("shard", {}).get("barrier_stall_s", 0.0)
                    for p in self.shard_payloads)
+
+    @property
+    def recoveries(self) -> int:
+        """Workers lost and deterministically recovered during this run."""
+        return int(self.resilience.get("workers_recovered", 0))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether supervision gave up and fell back to the serial driver."""
+        return bool(self.resilience.get("degraded", False))
 
 
 class ShardRuntime:
@@ -104,6 +123,9 @@ class ShardRuntime:
         self._telemetry_kwargs = dict(telemetry_kwargs or {})
         self.platform = None
         self.result: Optional[ExperimentResult] = None
+        #: Set on respawned incarnations (see repro.resilience): replay
+        #: accounting that rides the payload and RUN_END stats.
+        self.resilience = None
 
     def setup(self) -> None:
         """Build trace + platform and begin the workload (no stepping yet)."""
@@ -181,6 +203,8 @@ class ShardRuntime:
         if self.telemetry is not None and self.telemetry.last is not None:
             payload["telemetry"] = self.telemetry.last.to_dict()
             payload["telemetry_text"] = self.telemetry.last.format()
+        if self.resilience is not None:
+            payload["resilience"] = self.resilience.stats_payload()
         return payload
 
 
@@ -234,8 +258,18 @@ def _drive_serial(runtimes: Sequence[ShardRuntime],
 
 
 def _shard_worker(connection, spec_dict: dict, shard_index: int,
-                  plan_dict: dict, options: dict, trace=None) -> None:
-    """One shard's process: step, exchange frames over the pipe, report."""
+                  plan_dict: dict, options: dict, trace=None,
+                  recover: Optional[dict] = None) -> None:
+    """One shard's process: step, exchange frames over the pipe, report.
+
+    ``recover`` is set on respawned incarnations (see
+    :mod:`repro.resilience.supervisor`): before rejoining the live barrier
+    protocol the worker *fast-forwards* — it re-simulates every journaled
+    epoch and absorbs the corresponding merged :class:`GlobalFrame` s,
+    which reconstructs the dead incarnation's state bit for bit, then
+    resumes at ``resume_epoch``.  ``options["fault_injection"]`` is the
+    test-only crash harness (:class:`repro.resilience.FaultInjection`).
+    """
     try:
         plan = ShardPlan.from_dict(plan_dict)
         runtime = ShardRuntime(
@@ -244,9 +278,35 @@ def _shard_worker(connection, spec_dict: dict, shard_index: int,
             profile=options.get("profile", False),
             telemetry_kwargs=options.get("telemetry_kwargs"),
             trace=trace)
+        injection = None
+        injection_dict = options.get("fault_injection")
+        if injection_dict and injection_dict.get("shard") == shard_index:
+            from repro.resilience.supervisor import FaultInjection
+
+            injection = FaultInjection.from_dict(injection_dict)
         runtime.setup()
-        for epoch, barrier_time in enumerate(plan.barrier_times):
+        start_epoch = 0
+        if recover is not None:
+            start_epoch = int(recover["resume_epoch"])
+            for epoch in range(start_epoch):
+                # Deterministic replay: the recomputed frame is identical
+                # to the one the dead incarnation sent, so it is discarded
+                # and the journaled merged frame absorbed in its place.
+                runtime.step_epoch(epoch, plan.barrier_times[epoch])
+                runtime.absorb(GlobalFrame.from_dict(
+                    recover["frames"][epoch]))
+            from repro.resilience.monitor import ResilienceContext
+
+            resilience = ResilienceContext(
+                incarnation=int(recover.get("incarnation", 2)),
+                replayed_epochs=start_epoch)
+            runtime.platform.resilience_context = resilience
+            runtime.resilience = resilience
+        for epoch in range(start_epoch, plan.num_epochs):
+            barrier_time = plan.barrier_times[epoch]
             frame = runtime.step_epoch(epoch, barrier_time)
+            if injection is not None and epoch == injection.epoch:
+                injection.fire(connection, ("frame", frame.to_dict()))
             connection.send(("frame", frame.to_dict()))
             waited = _wallclock.monotonic()
             message = connection.recv()
@@ -257,6 +317,8 @@ def _shard_worker(connection, spec_dict: dict, shard_index: int,
         result = runtime.finalize()
         payload = runtime.payload()
         payload["result"] = result.to_dict()
+        if injection is not None and injection.epoch >= plan.num_epochs:
+            injection.fire(connection, ("result", payload))
         connection.send(("result", payload))
     except BaseException as error:  # ship the traceback, never hang the pipe
         try:
@@ -267,66 +329,15 @@ def _shard_worker(connection, spec_dict: dict, shard_index: int,
         connection.close()
 
 
-def _drive_parallel(spec: RunSpec, plan: ShardPlan, options: dict,
-                    traces: Optional[Sequence] = None
-                    ) -> List[Dict[str, object]]:
-    """One process per shard; coordinator merges/broadcasts each barrier."""
-    context = multiprocessing.get_context("fork")
-    workers = []
-    try:
-        for shard_index in range(plan.num_shards):
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_shard_worker,
-                args=(child_end, spec.to_dict(), shard_index,
-                      plan.to_dict(), options,
-                      traces[shard_index] if traces else None),
-                name=f"shard-{shard_index}", daemon=True)
-            process.start()
-            child_end.close()
-            workers.append((process, parent_end))
-
-        def receive(expected: str, shard_index: int):
-            message = workers[shard_index][1].recv()
-            if message[0] == "error":
-                raise ShardExecutionError(
-                    f"shard {shard_index} failed: {message[1]}\n{message[2]}")
-            if message[0] != expected:
-                raise ShardExecutionError(
-                    f"shard {shard_index}: expected {expected!r} message, "
-                    f"got {message[0]!r}")
-            return message[1]
-
-        for epoch in range(plan.num_epochs):
-            frames = [ShardFrame.from_dict(receive("frame", i))
-                      for i in range(plan.num_shards)]
-            merged = GlobalFrame.merge(frames).to_dict()
-            for _, connection in workers:
-                connection.send(("global", merged))
-        payloads = [receive("result", i) for i in range(plan.num_shards)]
-        for process, connection in workers:
-            connection.close()
-            process.join(timeout=60)
-        return payloads
-    except BaseException:
-        for process, connection in workers:
-            try:
-                connection.close()
-            except Exception:
-                pass
-            if process.is_alive():
-                process.terminate()
-            process.join(timeout=10)
-        raise
-
-
 # ----------------------------------------------------------------------
 # Entry point.
 # ----------------------------------------------------------------------
 def run_sharded(spec, num_shards: int, *, parallel: bool = True,
                 epoch_s: Optional[float] = None, sketch: bool = False,
                 profile: bool = False,
-                telemetry_kwargs: Optional[dict] = None) -> ShardedRunResult:
+                telemetry_kwargs: Optional[dict] = None,
+                supervision=None, hooks=None,
+                fault_injection=None) -> ShardedRunResult:
     """Run ``spec`` partitioned into ``num_shards`` space shards.
 
     ``parallel`` selects one-process-per-shard execution; the in-process
@@ -336,6 +347,17 @@ def run_sharded(spec, num_shards: int, *, parallel: bool = True,
     giga-scale traces).  ``profile`` / ``telemetry_kwargs`` attach a
     per-shard Profiler / Telemetry whose report dicts ride the shard
     payloads.
+
+    The parallel driver is **supervised** (see :mod:`repro.resilience`):
+    a worker that dies, hangs past ``supervision.worker_timeout_s``, or
+    corrupts a barrier frame is respawned and deterministically
+    fast-forwarded from the journal of merged global frames, so the merged
+    result is byte-identical to a fault-free run; after
+    ``supervision.max_worker_restarts`` consecutive failures of one shard
+    the run degrades to the serial driver (``mode == "degraded"``).
+    ``hooks`` receives ``WORKER_LOST``/``WORKER_RECOVERED`` publishes;
+    ``fault_injection`` is the test-only crash harness
+    (:class:`repro.resilience.FaultInjection`).
     """
     spec = RunSpec.from_spec(spec)
     if num_shards < 1:
@@ -381,9 +403,40 @@ def run_sharded(spec, num_shards: int, *, parallel: bool = True,
     traces = shard_traces(full_trace, num_shards)
     options = {"sketch": sketch, "profile": profile,
                "telemetry_kwargs": dict(telemetry_kwargs or {})}
+    if fault_injection is not None:
+        options["fault_injection"] = (
+            fault_injection if isinstance(fault_injection, dict)
+            else fault_injection.to_dict())
+    # Imported lazily: repro.resilience.supervisor imports _shard_worker
+    # from this module at spawn time.
+    from repro.resilience import (
+        ResilienceExhausted,
+        ResilienceMonitor,
+        ShardSupervisor,
+        SupervisorConfig,
+    )
+
+    monitor = ResilienceMonitor(hooks=hooks)
     if parallel:
-        payloads = _drive_parallel(spec, plan, options, traces)
-        mode = "parallel"
+        config = supervision if supervision is not None else SupervisorConfig()
+        supervisor = ShardSupervisor(spec, plan, options, traces,
+                                     config, monitor)
+        try:
+            payloads = supervisor.run()
+            mode = "parallel"
+        except ResilienceExhausted as error:
+            # One shard kept dying past its restart budget: give up on
+            # parallelism, not on the run.  The serial driver ignores
+            # fault_injection (it never forks), so a persistent injection
+            # cannot re-kill the degraded run.
+            monitor.degraded(str(error))
+            runtimes = [ShardRuntime(spec, i, plan, sketch=sketch,
+                                     profile=profile,
+                                     telemetry_kwargs=telemetry_kwargs,
+                                     trace=traces[i])
+                        for i in range(num_shards)]
+            payloads = _drive_serial(runtimes, plan)
+            mode = "degraded"
     else:
         runtimes = [ShardRuntime(spec, i, plan, sketch=sketch,
                                  profile=profile,
@@ -398,4 +451,5 @@ def run_sharded(spec, num_shards: int, *, parallel: bool = True,
                            wall_clock_runtime=(
                                _wallclock.monotonic() - started))
     return ShardedRunResult(result=merged, num_shards=num_shards, mode=mode,
-                            shard_payloads=payloads)
+                            shard_payloads=payloads,
+                            resilience=monitor.payload())

@@ -1,0 +1,589 @@
+"""Tests for repro.resilience: supervised shard workers, deterministic
+epoch recovery, resilient sweeps, and the crash-injection harness.
+
+The load-bearing assertions here are *bit-identity* ones: a run that loses a
+worker (SIGKILL, hang, truncated frame) and recovers it via journal replay
+must produce a merged collector digest byte-identical to the fault-free run.
+Everything else — counters, hook topics, quarantine records — is
+observability around that invariant.
+"""
+
+import hashlib
+import json
+import os
+import signal
+
+import pytest
+
+from repro.api import (
+    SPEC_RETRY,
+    WORKER_LOST,
+    WORKER_RECOVERED,
+    HookBus,
+    RunSpec,
+)
+from repro.experiments.runner import (
+    RunOutcome,
+    SweepExecutionError,
+    run_specs,
+)
+from repro.experiments.scenarios import build_trace, default_registry
+from repro.experiments.store import ResultStore
+from repro.resilience import (
+    FaultInjection,
+    ResilienceMonitor,
+    SupervisorConfig,
+    backoff_delay,
+    backoff_schedule,
+)
+from repro.resilience.supervisor import drain_and_close
+from repro.shard.plan import ShardPlan
+from repro.shard.runner import ShardExecutionError, run_sharded
+
+
+def _digest(result) -> str:
+    payload = json.dumps(result.collector.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def smoke_spec():
+    return RunSpec.from_scenario("smoke", seed=7)
+
+
+@pytest.fixture(scope="module")
+def smoke_plan(smoke_spec):
+    return ShardPlan.from_trace(build_trace(smoke_spec), 2)
+
+
+@pytest.fixture(scope="module")
+def fault_free(smoke_spec):
+    """One fault-free K=2 supervised run; its digest is the reference."""
+    sharded = run_sharded(smoke_spec, 2)
+    return sharded, _digest(sharded.result)
+
+
+# ----------------------------------------------------------------------
+# Backoff schedule (pure function).
+# ----------------------------------------------------------------------
+def test_backoff_is_deterministic_exponential_and_capped():
+    assert backoff_delay(1, 0.5) == 0.5
+    assert backoff_delay(2, 0.5) == 1.0
+    assert backoff_delay(3, 0.5) == 2.0
+    assert backoff_delay(10, 0.5) == 30.0  # default cap
+    assert backoff_delay(4, 0.5, cap_s=1.5) == 1.5
+    assert backoff_schedule(3, 0.5) == [0.5, 1.0, 2.0]
+    assert backoff_schedule(3, 0.5) == backoff_schedule(3, 0.5)
+
+
+def test_backoff_zero_base_disables_waiting():
+    assert backoff_delay(5, 0.0) == 0.0
+    assert backoff_schedule(3, 0.0) == [0.0, 0.0, 0.0]
+
+
+def test_backoff_rejects_zero_attempt():
+    with pytest.raises(ValueError, match="1-based"):
+        backoff_delay(0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Config / injection validation.
+# ----------------------------------------------------------------------
+def test_supervisor_config_validates():
+    with pytest.raises(ValueError, match="worker_timeout_s"):
+        SupervisorConfig(worker_timeout_s=0.0)
+    with pytest.raises(ValueError, match="max_worker_restarts"):
+        SupervisorConfig(max_worker_restarts=-1)
+    with pytest.raises(ValueError, match="poll_interval_s"):
+        SupervisorConfig(poll_interval_s=0.0)
+
+
+def test_fault_injection_validates_and_roundtrips():
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultInjection(shard=0, epoch=1, mode="meteor-strike")
+    injection = FaultInjection(shard=1, epoch=3, mode="hang", persistent=True)
+    assert FaultInjection.from_dict(injection.to_dict()) == injection
+
+
+def test_drain_and_close_is_idempotent_and_never_raises():
+    import multiprocessing
+
+    parent, child = multiprocessing.get_context("fork").Pipe()
+    child.send(("frame", {"x": 1}))  # leave data in flight
+    drain_and_close(parent)
+    drain_and_close(parent)  # double close must not raise
+    drain_and_close(None)
+    child.close()
+
+
+# ----------------------------------------------------------------------
+# Fault-free supervised runs.
+# ----------------------------------------------------------------------
+def test_fault_free_run_reports_no_resilience_events(fault_free):
+    sharded, _ = fault_free
+    assert sharded.mode == "parallel"
+    assert sharded.recoveries == 0
+    assert not sharded.degraded
+    assert sharded.resilience["workers_lost"] == 0
+    assert sharded.resilience["events"] == []
+    for payload in sharded.shard_payloads:
+        assert "resilience" not in payload  # only recovered workers carry it
+
+
+# ----------------------------------------------------------------------
+# Recovery bit-identity: one scenario per failure mode.
+# ----------------------------------------------------------------------
+def test_sigkill_recovery_is_byte_identical(smoke_spec, fault_free):
+    _, reference = fault_free
+    sharded = run_sharded(
+        smoke_spec, 2,
+        fault_injection=FaultInjection(shard=1, epoch=2, mode="sigkill"))
+    assert _digest(sharded.result) == reference
+    assert sharded.mode == "parallel"
+    assert sharded.recoveries == 1
+    resilience = sharded.resilience
+    assert resilience["workers_lost"] == 1
+    assert resilience["workers_recovered"] == 1
+    assert resilience["restarts_per_shard"] == {"1": 1}
+    assert not resilience["degraded"]
+    kinds = [event["event"] for event in resilience["events"]]
+    assert kinds == ["worker_lost", "worker_recovered"]
+    # The recovered incarnation's payload carries its replay accounting,
+    # folded from the worker-side ResilienceContext.
+    recovered = sharded.shard_payloads[1]["resilience"]
+    assert recovered["recovered"] is True
+    assert recovered["incarnation"] == 2
+    assert recovered["replayed_epochs"] == 2
+
+
+def test_truncated_frame_recovery_is_byte_identical(smoke_spec, fault_free):
+    _, reference = fault_free
+    sharded = run_sharded(
+        smoke_spec, 2,
+        fault_injection=FaultInjection(shard=0, epoch=1,
+                                       mode="truncate_frame"))
+    assert _digest(sharded.result) == reference
+    assert sharded.recoveries == 1
+    reasons = [event.get("reason", "") for event in
+               sharded.resilience["events"]]
+    assert any("corrupt" in reason or "pipe closed" in reason
+               or "died" in reason for reason in reasons)
+
+
+def test_hang_recovery_is_byte_identical(smoke_spec, fault_free):
+    _, reference = fault_free
+    sharded = run_sharded(
+        smoke_spec, 2,
+        fault_injection=FaultInjection(shard=1, epoch=3, mode="hang"),
+        supervision=SupervisorConfig(worker_timeout_s=2.0))
+    assert _digest(sharded.result) == reference
+    assert sharded.resilience["workers_lost"] == 1
+    assert sharded.resilience["workers_recovered"] == 1
+    assert "hung" in sharded.resilience["events"][0]["reason"]
+
+
+def test_result_phase_kill_recovery_is_byte_identical(smoke_spec, smoke_plan,
+                                                      fault_free):
+    _, reference = fault_free
+    # epoch >= num_epochs targets the final result send.
+    sharded = run_sharded(
+        smoke_spec, 2,
+        fault_injection=FaultInjection(shard=0, epoch=smoke_plan.num_epochs,
+                                       mode="sigkill"))
+    assert _digest(sharded.result) == reference
+    assert sharded.recoveries == 1
+    # The respawn had the full journal: it replayed every epoch.
+    assert (sharded.shard_payloads[0]["resilience"]["replayed_epochs"]
+            == smoke_plan.num_epochs)
+
+
+def test_epoch_zero_kill_recovery_is_byte_identical(smoke_spec, fault_free):
+    _, reference = fault_free
+    sharded = run_sharded(
+        smoke_spec, 2,
+        fault_injection=FaultInjection(shard=1, epoch=0, mode="sigkill"))
+    assert _digest(sharded.result) == reference
+    assert sharded.shard_payloads[1]["resilience"]["replayed_epochs"] == 0
+
+
+# ----------------------------------------------------------------------
+# Degradation and deterministic errors.
+# ----------------------------------------------------------------------
+def test_persistent_failure_degrades_to_serial(smoke_spec, fault_free):
+    _, reference = fault_free
+    sharded = run_sharded(
+        smoke_spec, 2,
+        fault_injection=FaultInjection(shard=1, epoch=1, mode="sigkill",
+                                       persistent=True),
+        supervision=SupervisorConfig(max_worker_restarts=1))
+    assert sharded.mode == "degraded"
+    assert sharded.degraded
+    assert _digest(sharded.result) == reference  # same result, no processes
+    resilience = sharded.resilience
+    assert resilience["workers_lost"] == 2  # original + one respawn
+    assert resilience["degraded_reason"] is not None
+    assert "shard 1" in resilience["degraded_reason"]
+    assert resilience["events"][-1]["event"] == "degraded_to_serial"
+
+
+def test_deterministic_worker_error_is_not_retried(smoke_spec):
+    # An in-simulation exception would replay identically: it must surface
+    # as ShardExecutionError with zero recovery attempts, exactly as the
+    # unsupervised driver behaved.
+    bad = RunSpec.from_scenario("smoke", policy="no-such-policy", seed=7)
+    hooks = HookBus()
+    seen = []
+    hooks.subscribe(WORKER_LOST, lambda *payload: seen.append(payload))
+    with pytest.raises(ShardExecutionError, match="no-such-policy"):
+        run_sharded(bad, 2, hooks=hooks)
+    assert seen == []
+
+
+def test_injected_exception_surfaces_as_shard_execution_error(smoke_spec):
+    with pytest.raises(ShardExecutionError, match="injected failure"):
+        run_sharded(
+            smoke_spec, 2,
+            fault_injection=FaultInjection(shard=0, epoch=1,
+                                           mode="exception"))
+
+
+# ----------------------------------------------------------------------
+# Hook topics.
+# ----------------------------------------------------------------------
+def test_recovery_publishes_worker_lost_and_recovered(smoke_spec):
+    hooks = HookBus()
+    lost, recovered = [], []
+    hooks.subscribe(WORKER_LOST,
+                    lambda time, shard, detail: lost.append((time, shard)))
+    hooks.subscribe(WORKER_RECOVERED,
+                    lambda time, shard, detail:
+                    recovered.append((time, shard)))
+    run_sharded(smoke_spec, 2, hooks=hooks,
+                fault_injection=FaultInjection(shard=1, epoch=2,
+                                               mode="sigkill"))
+    assert len(lost) == len(recovered) == 1
+    assert lost[0][1] == recovered[0][1] == 1
+    # The published time is the simulated barrier time being gathered.
+    plan = ShardPlan.from_trace(build_trace(smoke_spec), 2)
+    assert lost[0][0] == plan.barrier_times[2]
+
+
+def test_monitor_payload_shape():
+    monitor = ResilienceMonitor()
+    monitor.worker_lost(0, 100.0, "test")
+    monitor.worker_recovered(0, 100.0, replayed_epochs=1, incarnation=2)
+    monitor.degraded("because")
+    payload = monitor.payload()
+    assert payload["workers_lost"] == 1
+    assert payload["workers_recovered"] == 1
+    assert payload["restarts_per_shard"] == {"0": 1}
+    assert payload["degraded"] is True
+    assert payload["degraded_reason"] == "because"
+    assert [event["event"] for event in payload["events"]] == [
+        "worker_lost", "worker_recovered", "degraded_to_serial"]
+    assert monitor.recoveries == 1
+
+
+# ----------------------------------------------------------------------
+# Resilient sweeps: retry, quarantine, salvage, resume.
+# ----------------------------------------------------------------------
+def _specs(policies, seed=7):
+    scenario = default_registry().get("smoke")
+    return [scenario.instantiate(policy=policy, seed=seed)
+            for policy in policies]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sweep_quarantines_bad_spec_and_salvages_rest(tmp_path, workers):
+    store = ResultStore(tmp_path)
+    specs = _specs(["notebookos", "no-such-policy", "batch"])
+    outcomes = run_specs(specs, workers=workers, store=store,
+                         retries=1, strict=False)
+    assert len(outcomes) == 3
+    by_policy = {outcome.spec.policy: outcome for outcome in outcomes}
+    bad = by_policy["no-such-policy"]
+    assert bad.failed and bad.result is None
+    assert bad.attempts == 2  # retries + 1
+    assert "no-such-policy" in bad.error
+    assert bad.traceback and "UnknownPolicyError" in bad.traceback
+    for policy in ("notebookos", "batch"):
+        outcome = by_policy[policy]
+        assert not outcome.failed
+        assert store.load(outcome.spec) is not None  # salvaged AND stored
+    assert store.load(bad.spec) is None
+
+
+def test_sweep_strict_raises_at_end_with_failures_attached(tmp_path):
+    store = ResultStore(tmp_path)
+    specs = _specs(["notebookos", "no-such-policy"])
+    with pytest.raises(SweepExecutionError) as excinfo:
+        run_specs(specs, workers=2, store=store, strict=True)
+    assert len(excinfo.value.failures) == 1
+    assert excinfo.value.failures[0].spec.policy == "no-such-policy"
+    # Salvage happened before the raise: the healthy spec is stored.
+    assert store.load(specs[0]) is not None
+
+
+def test_sweep_retry_then_succeed_parallel(tmp_path, monkeypatch):
+    """A spec that fails once then succeeds: retried, attempt count == 2.
+
+    The parallel scheduler forks workers, so a parent-side monkeypatch of
+    ``_execute_spec`` is inherited; a marker file records the first attempt.
+    """
+    import repro.experiments.runner as runner_module
+
+    marker = tmp_path / "first-attempt"
+    real = runner_module._execute_spec
+
+    def flaky(spec_dict):
+        if spec_dict["policy"] == "batch" and not marker.exists():
+            marker.write_text("failed once")
+            raise RuntimeError("transient failure, attempt 1")
+        return real(spec_dict)
+
+    monkeypatch.setattr(runner_module, "_execute_spec", flaky)
+    hooks = HookBus()
+    retries_seen = []
+    hooks.subscribe(SPEC_RETRY, lambda attempt, label, detail:
+                    retries_seen.append((attempt, label, detail)))
+    outcomes = run_specs(_specs(["notebookos", "batch"]), workers=2,
+                         retries=2, hooks=hooks)
+    by_policy = {outcome.spec.policy: outcome for outcome in outcomes}
+    assert by_policy["batch"].attempts == 2
+    assert not by_policy["batch"].failed
+    assert by_policy["notebookos"].attempts == 1
+    assert len(retries_seen) == 1
+    attempt, label, detail = retries_seen[0]
+    assert attempt == 1
+    assert "batch" in label
+    assert "transient failure" in detail["error"]
+
+
+def test_sweep_survives_sigkilled_worker(tmp_path, monkeypatch):
+    """SIGKILL of one sweep worker quarantines only its spec — the old
+    ProcessPoolExecutor turned this into BrokenProcessPool for everyone."""
+    import repro.experiments.runner as runner_module
+
+    real = runner_module._execute_spec
+
+    def murdered(spec_dict):
+        if spec_dict["policy"] == "batch":
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real(spec_dict)
+
+    monkeypatch.setattr(runner_module, "_execute_spec", murdered)
+    outcomes = run_specs(_specs(["notebookos", "batch", "lcp"]), workers=2,
+                         strict=False)
+    by_policy = {outcome.spec.policy: outcome for outcome in outcomes}
+    assert by_policy["batch"].failed
+    assert "died" in by_policy["batch"].error
+    assert not by_policy["notebookos"].failed
+    assert not by_policy["lcp"].failed
+
+
+def test_sweep_kills_and_quarantines_hung_worker(tmp_path, monkeypatch):
+    import time as wallclock
+
+    import repro.experiments.runner as runner_module
+
+    real = runner_module._execute_spec
+
+    def stuck(spec_dict):
+        if spec_dict["policy"] == "batch":
+            while True:
+                wallclock.sleep(0.25)
+        return real(spec_dict)
+
+    monkeypatch.setattr(runner_module, "_execute_spec", stuck)
+    outcomes = run_specs(_specs(["notebookos", "batch"]), workers=2,
+                         spec_timeout_s=1.5, strict=False)
+    by_policy = {outcome.spec.policy: outcome for outcome in outcomes}
+    assert by_policy["batch"].failed
+    assert "timed out" in by_policy["batch"].error
+    assert not by_policy["notebookos"].failed
+
+
+def test_sweep_serial_retry_counts_attempts(monkeypatch, tmp_path):
+    import repro.experiments.runner as runner_module
+
+    calls = []
+    real = runner_module._execute_spec
+
+    def flaky(spec_dict):
+        calls.append(1)
+        if len(calls) < 3:
+            raise RuntimeError("still warming up")
+        return real(spec_dict)
+
+    monkeypatch.setattr(runner_module, "_execute_spec", flaky)
+    outcomes = run_specs(_specs(["notebookos"]), workers=1, retries=2)
+    assert outcomes[0].attempts == 3
+    assert not outcomes[0].failed
+
+
+def test_sweep_resume_reruns_nothing_stored(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    specs = _specs(["notebookos", "batch"])
+    first = run_specs(specs, workers=1, store=store)
+    assert all(not outcome.cached for outcome in first)
+
+    # Resume: every spec is served from the store; execution would explode.
+    import repro.experiments.runner as runner_module
+
+    def forbidden(spec_dict):
+        raise AssertionError("resume must not re-run stored specs")
+
+    monkeypatch.setattr(runner_module, "_execute_spec", forbidden)
+    second = run_specs(specs, workers=1, store=store)
+    assert all(outcome.cached for outcome in second)
+    assert [_digest(a.result) for a in first] == \
+        [_digest(b.result) for b in second]
+
+
+def test_run_specs_rejects_negative_retries():
+    with pytest.raises(ValueError, match="retries"):
+        run_specs(_specs(["notebookos"]), retries=-1)
+
+
+# ----------------------------------------------------------------------
+# Result store: atomicity pinning (satellite b).
+# ----------------------------------------------------------------------
+def test_store_truncated_entry_is_a_miss_then_repaired(tmp_path):
+    spec = _specs(["notebookos"])[0]
+    store = ResultStore(tmp_path)
+    outcome = run_specs([spec], store=store)[0]
+    path = store.path_for(spec)
+    full = path.read_text()
+
+    # A write torn mid-flight (the failure os.replace prevents): every
+    # truncation prefix must read as a miss, never as garbage or a crash.
+    path.write_text(full[:len(full) // 2])
+    assert store.load(spec) is None
+    store.save(spec, outcome.result.to_dict())
+    assert store.load(spec) is not None
+
+
+def test_store_save_leaves_no_temp_droppings(tmp_path):
+    spec = _specs(["notebookos"])[0]
+    store = ResultStore(tmp_path)
+    run_specs([spec], store=store)
+    leftovers = [p for p in tmp_path.rglob("*")
+                 if p.is_file() and not p.name.endswith(".json")]
+    assert leftovers == []
+
+
+def test_store_save_is_atomic_under_interrupt(tmp_path, monkeypatch):
+    """If the final rename never happens, the old entry must be intact."""
+    spec = _specs(["notebookos"])[0]
+    store = ResultStore(tmp_path)
+    outcome = run_specs([spec], store=store)[0]
+    before = store.path_for(spec).read_text()
+
+    real_replace = os.replace
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash before rename")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(OSError, match="simulated crash"):
+        store.save(spec, outcome.result.to_dict())
+    monkeypatch.setattr(os, "replace", real_replace)
+
+    assert store.path_for(spec).read_text() == before  # untouched
+    assert store.load(spec) is not None
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces (satellite c).
+# ----------------------------------------------------------------------
+def test_cli_sweep_failure_summary_and_exit_code(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    code = main(["sweep", "--scenario", "smoke",
+                 "--policies", "notebookos,no-such-policy",
+                 "--seeds", "7", "--retries", "1",
+                 "--store-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "quarantined" in captured.err
+    assert "no-such-policy" in captured.err
+    assert "2 attempt(s)" in captured.err
+    assert "Traceback" not in captured.err  # summary line, not a dump
+    # The healthy spec's row still prints (salvage is visible).
+    assert "notebookos" in captured.out
+
+
+def test_cli_sweep_resume_reports_store_hits(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["sweep", "--scenario", "smoke", "--policies", "notebookos",
+                 "--seeds", "7", "--store-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--scenario", "smoke", "--policies", "notebookos",
+                 "--seeds", "7", "--resume",
+                 "--store-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "resume: 1 spec(s) served from the store, 0 executed" \
+        in captured.out
+
+
+def test_cli_sweep_resume_requires_store(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    code = main(["sweep", "--scenario", "smoke", "--policies", "notebookos",
+                 "--resume", "--no-store", "--store-dir", str(tmp_path)])
+    assert code == 2
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_cli_run_sharded_smoke(capsys):
+    from repro.experiments.__main__ import main
+
+    code = main(["run", "smoke", "--shards", "2", "--worker-timeout", "60",
+                 "--no-store"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "mode=parallel" in captured.out
+    assert "shards=2" in captured.out
+
+
+# ----------------------------------------------------------------------
+# Slow lane: exhaustive bit-identity sweeps (satellite d + acceptance).
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("num_shards", [2, 3, 4])
+def test_failure_storm_serial_parallel_and_recovered_identical(num_shards):
+    spec = RunSpec.from_scenario("failure_storm", seed=11)
+    serial = run_sharded(spec, num_shards, parallel=False)
+    parallel = run_sharded(spec, num_shards, parallel=True)
+    assert _digest(serial.result) == _digest(parallel.result)
+    killed = run_sharded(
+        spec, num_shards,
+        fault_injection=FaultInjection(shard=num_shards - 1, epoch=2,
+                                       mode="sigkill"))
+    assert _digest(killed.result) == _digest(serial.result)
+    assert killed.recoveries == 1
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("num_shards", [2, 4])
+@pytest.mark.parametrize("epoch_kind", ["first", "mid", "last", "result"])
+def test_cluster_scale_kill_at_arbitrary_epoch_is_byte_identical(
+        num_shards, epoch_kind):
+    """Acceptance: SIGKILL of any single worker at an arbitrary epoch —
+    including the result phase — recovers with an identical merged digest."""
+    scenario = default_registry().get("cluster_scale")
+    spec = scenario.instantiate(seed=7, num_sessions=40, duration_hours=2.0)
+    plan = ShardPlan.from_trace(build_trace(spec), num_shards)
+    epoch = {"first": 0, "mid": plan.num_epochs // 2,
+             "last": plan.num_epochs - 1, "result": plan.num_epochs,
+             }[epoch_kind]
+    reference = run_sharded(spec, num_shards)
+    killed = run_sharded(
+        spec, num_shards,
+        fault_injection=FaultInjection(shard=num_shards - 1, epoch=epoch,
+                                       mode="sigkill"))
+    assert _digest(killed.result) == _digest(reference.result)
+    assert killed.recoveries == 1
+    assert killed.mode == "parallel"
